@@ -1,0 +1,100 @@
+(* Command-line interface to the OCTOPOCS reproduction.
+
+   Subcommands:
+     verify <idx>     run the full pipeline on one Table II pair
+     verify-all       run all 15 pairs and print the Table II summary
+     inspect <idx>    show the pair's programs, PoC hexdump and ℓ
+     fuzz <idx>       run the AFLFast baseline on the pair's T binary *)
+
+open Cmdliner
+module Registry = Octo_targets.Registry
+module B = Octo_util.Bytes_util
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let run_one ?(dynamic = false) idx =
+  let c = Registry.find idx in
+  say "Pair %d: S=%s(%s)  T=%s(%s)  %s [%s]" c.idx c.s.pname c.s_version c.t.pname c.t_version
+    c.vuln_id c.cwe;
+  let config = { Octopocs.default_config with dynamic_cfg = dynamic } in
+  let r = Octopocs.run ~config ~s:c.s ~t:c.t ~poc:c.poc () in
+  say "  ep      : %s" r.ep;
+  say "  ℓ       : %s" (String.concat ", " r.ell);
+  (match r.taint with
+  | Some t ->
+      say "  bunches : %d (ep entered %d times, %d primitive bytes)"
+        (List.length t.bunches) t.ep_entries t.marked_offsets
+  | None -> ());
+  (match r.symex with
+  | Some s ->
+      say "  symex   : %d run(s), %d steps, %d branch decisions, %d loop retries" s.runs
+        s.total_steps s.branches_decided s.loop_retries
+  | None -> ());
+  say "  verdict : %a  (expected %s)" Octopocs.pp_verdict r.verdict
+    (Registry.expected_to_string c.expected);
+  say "  elapsed : %.3fs" r.elapsed_s;
+  (match r.verdict with
+  | Octopocs.Triggered { poc'; _ } -> say "  poc' hexdump:@.%s" (B.hexdump poc')
+  | _ -> ());
+  let got = Octopocs.verdict_class r.verdict in
+  let want = Registry.expected_to_string c.expected in
+  if got = want then (say "  MATCH"; 0) else (say "  MISMATCH (%s vs %s)" got want; 1)
+
+let verify_cmd =
+  let idx = Arg.(required & pos 0 (some int) None & info [] ~docv:"IDX") in
+  let dynamic =
+    Arg.(value & flag
+         & info [ "dynamic-cfg" ]
+             ~doc:"Repair CFG-recovery failures with dynamic devirtualization")
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Verify one Table II pair")
+    Term.(const (fun dynamic idx -> run_one ~dynamic idx) $ dynamic $ idx)
+
+let run_all () =
+  let failures =
+    List.fold_left (fun acc (c : Registry.case) -> acc + run_one c.idx) 0 Registry.all
+  in
+  say "%d/%d pairs match the paper's verdicts" (List.length Registry.all - failures)
+    (List.length Registry.all);
+  if failures = 0 then 0 else 1
+
+let verify_all_cmd =
+  Cmd.v (Cmd.info "verify-all" ~doc:"Verify all 15 pairs") Term.(const run_all $ const ())
+
+let inspect idx =
+  let c = Registry.find idx in
+  say "S = %s (%d instructions), T = %s (%d instructions)" c.s.pname
+    (Octo_vm.Asm.size_of_code c.s) c.t.pname (Octo_vm.Asm.size_of_code c.t);
+  let pairs = Octo_clone.Clone.shared_functions c.s c.t in
+  say "shared functions (ℓ): %s"
+    (String.concat ", "
+       (List.map (fun (p : Octo_clone.Clone.clone_pair) -> p.t_func) pairs));
+  say "PoC (%d bytes):@.%s" (String.length c.poc) (B.hexdump c.poc);
+  0
+
+let inspect_cmd =
+  let idx = Arg.(required & pos 0 (some int) None & info [] ~docv:"IDX") in
+  Cmd.v (Cmd.info "inspect" ~doc:"Show a pair's programs and PoC") Term.(const inspect $ idx)
+
+let fuzz idx =
+  let c = Registry.find idx in
+  let seeds = [ c.poc ] in
+  let r =
+    Octo_fuzz.Aflfast.run
+      ~config:{ Octo_fuzz.Aflfast.default_config with max_execs = 200_000 }
+      c.t ~seeds ~crash_in:(Octo_clone.Clone.ell_names (Octo_clone.Clone.shared_functions c.s c.t))
+  in
+  (match r.crash_input with
+  | Some input ->
+      say "crash found after %d execs (%.2fs): %d bytes" r.execs r.elapsed_s
+        (String.length input)
+  | None -> say "no crash in %d execs (%.2fs)" r.execs r.elapsed_s);
+  0
+
+let fuzz_cmd =
+  let idx = Arg.(required & pos 0 (some int) None & info [] ~docv:"IDX") in
+  Cmd.v (Cmd.info "fuzz" ~doc:"Run the AFLFast baseline on a pair's T") Term.(const fuzz $ idx)
+
+let () =
+  let info = Cmd.info "octopocs" ~doc:"Verify propagated vulnerable code with reformed PoCs" in
+  exit (Cmd.eval' (Cmd.group info [ verify_cmd; verify_all_cmd; inspect_cmd; fuzz_cmd ]))

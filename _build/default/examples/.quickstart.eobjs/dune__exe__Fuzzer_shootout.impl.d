@@ -1,0 +1,1 @@
+examples/fuzzer_shootout.ml: Format List Octo_clone Octo_formats Octo_fuzz Octo_targets Octo_util Octopocs

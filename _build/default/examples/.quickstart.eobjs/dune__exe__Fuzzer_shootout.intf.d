@@ -1,0 +1,1 @@
+examples/fuzzer_shootout.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Octo_targets Octo_util Octopocs String

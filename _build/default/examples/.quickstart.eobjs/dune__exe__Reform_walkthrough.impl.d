@@ -1,0 +1,1 @@
+examples/reform_walkthrough.ml: Format Interp List Octo_cfg Octo_clone Octo_taint Octo_targets Octo_util Octo_vm Octopocs String

@@ -1,0 +1,1 @@
+examples/reform_walkthrough.mli:

@@ -1,0 +1,1 @@
+examples/triage_report.ml: Format List Octo_targets Octopocs String

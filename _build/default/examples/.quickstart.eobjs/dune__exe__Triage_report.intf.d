@@ -1,0 +1,1 @@
+examples/triage_report.mli:

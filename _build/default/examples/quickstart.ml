@@ -1,0 +1,41 @@
+(* Quickstart: verify one propagated vulnerability end to end.
+
+   Scenario: a buffer overflow was found in the standalone JPEG compressor
+   [jpegc] (our CVE-2017-0700 analogue), with a public malformed-image PoC.
+   Clone detection says the libgdx image loader embeds the same decoder.
+   Does the vulnerability still trigger there?
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Registry = Octo_targets.Registry
+module B = Octo_util.Bytes_util
+
+let () =
+  let c = Registry.find 1 in
+  Format.printf "S = %s, T = %s, vulnerability %s@." c.s.pname c.t.pname c.vuln_id;
+  Format.printf "original PoC (%d bytes):@.%s@." (String.length c.poc) (B.hexdump c.poc);
+
+  (* The whole pipeline is one call: clone detection finds ℓ, the crash
+     backtrace of S picks ep, taint extracts crash primitives, directed
+     symbolic execution of T generates and combines the guiding input, and
+     the reformed poc' is replayed against T. *)
+  let report = Octopocs.run ~s:c.s ~t:c.t ~poc:c.poc () in
+
+  Format.printf "shared functions ℓ = [%s], ep = %s@."
+    (String.concat "; " report.ell) report.ep;
+  (match report.taint with
+  | Some t ->
+      Format.printf "crash primitives: %d byte(s) across %d bunch(es)@." t.marked_offsets
+        (List.length t.bunches)
+  | None -> ());
+  Format.printf "verdict: %a@." Octopocs.pp_verdict report.verdict;
+  match report.verdict with
+  | Octopocs.Triggered { poc'; _ } ->
+      Format.printf "reformed poc' (%d bytes):@.%s@." (String.length poc') (B.hexdump poc');
+      Format.printf
+        "=> the propagated vulnerability is still triggerable in %s; patch urgently.@."
+        c.t.pname
+  | Octopocs.Not_triggerable r ->
+      Format.printf "=> not triggerable (%a); the patch can be deprioritised.@."
+        Octopocs.pp_reason r
+  | Octopocs.Failure msg -> Format.printf "=> verification failed: %s@." msg

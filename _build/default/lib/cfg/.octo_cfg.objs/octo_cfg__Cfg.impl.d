@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Hashtbl List Octo_vm Printf

@@ -1,0 +1,1 @@
+lib/cfg/devirt.ml: Array Dyncfg Hashtbl List Octo_vm Printf

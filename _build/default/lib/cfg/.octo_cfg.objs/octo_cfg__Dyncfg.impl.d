@@ -1,0 +1,1 @@
+lib/cfg/dyncfg.ml: Hashtbl Interp Isa List Octo_vm

@@ -1,0 +1,107 @@
+(** Profile-guided devirtualization: the "dynamic CFG" repair for
+    unresolvable indirect calls.
+
+    The paper's Idx-15 failure is an angr CFG-recovery defect on an indirect
+    call; the authors note the pair would verify once fixed (§V-B).  This
+    pass implements the fix the way binary-analysis frameworks do it:
+    replay the target on concrete seeds, record which functions each
+    indirect call site actually reaches (the dynamic CFG of §IV-B), and
+    rewrite every unresolvable [Icall] into a direct call to a synthesized
+    dispatcher that compares the runtime slot against each observed target.
+
+    The rewrite is semantics-preserving on all observed targets (unobserved
+    slots terminate with a distinct exit code instead of trapping), keeps
+    instruction indices stable (one instruction replaces one instruction, so
+    labels survive), and makes the program fully analysable by {!Cfg.build}
+    and the directed symbolic executor. *)
+
+open Octo_vm.Isa
+
+(* Dispatcher naming: one synthesized function per rewritten call site. *)
+let dispatcher_name fname pc = Printf.sprintf "__devirt_%s_%d" fname pc
+
+let slot_of_function (prog : program) name =
+  let found = ref None in
+  Array.iteri (fun i n -> if n = name && !found = None then found := Some i) prog.ftable;
+  !found
+
+(* Build the dispatcher body: the runtime slot arrives in r0 and the
+   original call arguments in r1..rn.  Layout, three instructions per
+   observed target:
+     3k:   Jif Ne r0, slot_k -> 3(k+1)   (no match: try the next target)
+     3k+1: Call target_k (r1..rn) -> r31
+     3k+2: Ret r31
+   The final slot (3n) is a distinct exit for unobserved targets. *)
+let dispatcher_code ~targets ~nargs : instr array =
+  let args = List.init nargs (fun i -> Reg (i + 1)) in
+  let code =
+    List.concat
+      (List.mapi
+         (fun k (target, slot) ->
+           [ Jif (Ne, Reg 0, Imm slot, 3 * (k + 1)); Call (target, args, Some 31); Ret (Reg 31) ])
+         targets)
+    @ [ Sys (Exit (Imm 97)) ]
+  in
+  Array.of_list code
+
+(** [apply prog ~observed] rewrites every register-indirect call whose
+    enclosing function has observed outgoing call edges.  Functions are
+    shared with the original program except the rewritten ones; the
+    function table is extended with the dispatchers (appended, so existing
+    slots keep their meaning). *)
+let apply (prog : program) ~(observed : Dyncfg.observed) : program =
+  let new_funcs : (string, func) Hashtbl.t = Hashtbl.create 16 in
+  let dispatchers = ref [] in
+  Hashtbl.iter
+    (fun fname (f : func) ->
+      let code = Array.copy f.code in
+      Array.iteri
+        (fun pc ins ->
+          match ins with
+          | Icall ((Reg _ | Sym _), args, dst) ->
+              let targets =
+                Dyncfg.call_edges observed
+                |> List.filter_map (fun (caller, callee) ->
+                       if caller = fname then
+                         match slot_of_function prog callee with
+                         | Some slot when Hashtbl.mem prog.funcs callee -> Some (callee, slot)
+                         | _ -> None
+                       else None)
+                |> List.sort_uniq compare
+              in
+              if targets <> [] then begin
+                let dname = dispatcher_name fname pc in
+                let nargs = List.length args in
+                let dcode = dispatcher_code ~targets ~nargs in
+                dispatchers :=
+                  { fname = dname; nparams = nargs + 1; code = dcode } :: !dispatchers;
+                (match ins with
+                | Icall (slot_op, args, dst') ->
+                    code.(pc) <- Call (dname, slot_op :: args, dst')
+                | _ -> assert false);
+                ignore dst
+              end
+          | _ -> ())
+        f.code;
+      Hashtbl.replace new_funcs fname { f with code })
+    prog.funcs;
+  List.iter (fun d -> Hashtbl.replace new_funcs d.fname d) !dispatchers;
+  {
+    prog with
+    pname = prog.pname ^ "+devirt";
+    funcs = new_funcs;
+    ftable =
+      Array.append prog.ftable
+        (Array.of_list (List.rev_map (fun d -> d.fname) !dispatchers));
+  }
+
+(** [has_unresolved_icalls prog] answers whether devirtualization is needed
+    at all. *)
+let has_unresolved_icalls (prog : program) =
+  Hashtbl.fold
+    (fun _ (f : func) acc ->
+      acc
+      || Array.exists
+           (function Icall ((Reg _ | Sym _), _, _) -> true | _ -> false)
+           f.code)
+    prog.funcs false

@@ -1,0 +1,50 @@
+(** Dynamic CFG refinement (paper §IV-B, "dynamic CFG").
+
+    The static CFG of {!Cfg} misses edges that only exist at run time —
+    indirect-call targets in particular.  The paper's implementation prefers
+    angr's dynamic CFG; our analogue replays the program concretely on a set
+    of seed inputs, records the observed call edges through the interpreter's
+    edge hook, and exposes them as extra resolution facts.  [resolve] then
+    answers whether every indirect call site was observed, allowing a
+    [Cfg.build ~allow_unresolved:true] result to be trusted. *)
+
+open Octo_vm
+
+type observed = {
+  calls : (string * string, unit) Hashtbl.t;  (** (caller, callee) edges seen *)
+  blocks : (string * int, unit) Hashtbl.t;    (** (function, pc) coverage *)
+}
+
+let observe (prog : Isa.program) ~(seeds : string list) : observed =
+  let calls = Hashtbl.create 64 in
+  let blocks = Hashtbl.create 256 in
+  let stack = ref [ prog.entry ] in
+  let hooks =
+    {
+      Interp.no_hooks with
+      on_call =
+        (fun ~fname ~frame_id:_ ~args:_ ->
+          (match !stack with
+          | caller :: _ -> Hashtbl.replace calls (caller, fname) ()
+          | [] -> ());
+          stack := fname :: !stack);
+      on_ret = (fun _ -> match !stack with _ :: rest -> stack := rest | [] -> ());
+      on_step = (fun fname pc -> Hashtbl.replace blocks (fname, pc) ());
+    }
+  in
+  List.iter
+    (fun input ->
+      stack := [ prog.entry ];
+      ignore (Interp.run ~hooks prog ~input))
+    seeds;
+  { calls; blocks }
+
+(** [covered o fname pc] reports whether the seed replays executed the given
+    program point. *)
+let covered o fname pc = Hashtbl.mem o.blocks (fname, pc)
+
+(** [call_edges o] lists observed (caller, callee) pairs. *)
+let call_edges o = Hashtbl.fold (fun k () acc -> k :: acc) o.calls []
+
+(** [saw_call o ~caller ~callee] checks a specific dynamic call edge. *)
+let saw_call o ~caller ~callee = Hashtbl.mem o.calls (caller, callee)

@@ -1,0 +1,1 @@
+lib/clone/clone.ml: Array Buffer Digest Fmt Hashtbl List Octo_vm Printf

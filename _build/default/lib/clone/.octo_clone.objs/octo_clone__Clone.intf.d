@@ -1,0 +1,1 @@
+lib/clone/clone.mli: Octo_vm

@@ -1,0 +1,74 @@
+(** Vulnerable code-clone detection (VUDDY-style fingerprinting).
+
+    The paper assumes ℓ — the set of functions shared between S and T — is
+    given by an existing clone detector such as VUDDY [6].  We implement the
+    substrate: every function body is normalised (abstraction level chosen by
+    the caller) and hashed; two functions are clones when their fingerprints
+    match.  Because MiniVM code is already register-canonical, normalisation
+    concerns jump structure and callee names. *)
+
+open Octo_vm.Isa
+
+(** Abstraction level, mirroring VUDDY's levels:
+    - [Exact]: the whole instruction stream, callee names included.
+    - [Abstract_calls]: callee names replaced by a placeholder, detecting
+      clones whose helper functions were renamed during propagation. *)
+type level = Exact | Abstract_calls
+
+let render_instr ~level buf (ins : instr) =
+  let add = Buffer.add_string buf in
+  match ins with
+  | Call (g, args, dst) when level = Abstract_calls ->
+      add (Printf.sprintf "call<%d,%s>" (List.length args)
+             (match dst with Some _ -> "r" | None -> "-"))
+      |> ignore;
+      ignore g
+  | _ -> add (Fmt.str "%a;" pp_instr ins)
+
+(** [fingerprint ?level f] hashes the normalised body of [f]. *)
+let fingerprint ?(level = Exact) (f : func) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (string_of_int f.nparams);
+  Array.iter (fun ins -> render_instr ~level buf ins) f.code;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(** A detected clone pair. *)
+type clone_pair = {
+  s_func : string;
+  t_func : string;
+  renamed : bool;  (** the clone carries a different name in T *)
+}
+
+(** [shared_functions ?level s t] computes ℓ: every function of [s] whose
+    fingerprint also occurs in [t].  Same-name matches are preferred;
+    renamed clones are reported with [renamed = true]. *)
+let shared_functions ?level (s : program) (t : program) : clone_pair list =
+  let t_by_fp = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun name f -> Hashtbl.add t_by_fp (fingerprint ?level f) name)
+    t.funcs;
+  let pairs = ref [] in
+  Hashtbl.iter
+    (fun s_name f ->
+      let fp = fingerprint ?level f in
+      match Hashtbl.find_all t_by_fp fp with
+      | [] -> ()
+      | candidates ->
+          let t_name = if List.mem s_name candidates then s_name else List.hd candidates in
+          pairs := { s_func = s_name; t_func = t_name; renamed = t_name <> s_name } :: !pairs)
+    s.funcs;
+  List.sort compare !pairs
+
+(** [ell_names pairs] is the ℓ set as T-side function names — the form the
+    OCTOPOCS pipeline consumes. *)
+let ell_names pairs = List.map (fun p -> p.t_func) pairs
+
+(** [is_vulnerable_clone_present s t ~vuln_func] answers the question a
+    VUDDY user asks first: does T contain a clone of the known-vulnerable
+    function of S? *)
+let is_vulnerable_clone_present ?level (s : program) (t : program) ~vuln_func =
+  match Hashtbl.find_opt s.funcs vuln_func with
+  | None -> false
+  | Some f ->
+      let fp = fingerprint ?level f in
+      Hashtbl.fold (fun _ g acc -> acc || fingerprint ?level g = fp) t.funcs false

@@ -1,0 +1,35 @@
+(** Vulnerable code-clone detection (VUDDY-style fingerprinting).
+
+    The substrate that computes ℓ, the set of functions shared between the
+    original vulnerable program S and the propagated program T — the input
+    the paper assumes from existing clone detectors. *)
+
+open Octo_vm.Isa
+
+(** Abstraction level, mirroring VUDDY's levels. *)
+type level =
+  | Exact           (** full instruction stream, callee names included *)
+  | Abstract_calls  (** callee names abstracted: detects clones whose
+                        helpers were renamed during propagation *)
+
+(** [fingerprint ?level f] hashes the normalised body of [f]. *)
+val fingerprint : ?level:level -> func -> string
+
+type clone_pair = {
+  s_func : string;
+  t_func : string;
+  renamed : bool;  (** the clone carries a different name in T *)
+}
+
+(** [shared_functions ?level s t] computes ℓ: every function of [s] whose
+    fingerprint also occurs in [t]; same-name matches preferred. *)
+val shared_functions : ?level:level -> program -> program -> clone_pair list
+
+(** [ell_names pairs] is ℓ as T-side function names — the form the
+    OCTOPOCS pipeline consumes. *)
+val ell_names : clone_pair list -> string list
+
+(** [is_vulnerable_clone_present s t ~vuln_func] asks whether T contains a
+    clone of S's known-vulnerable function. *)
+val is_vulnerable_clone_present :
+  ?level:level -> program -> program -> vuln_func:string -> bool

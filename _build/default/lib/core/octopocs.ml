@@ -1,0 +1,283 @@
+(** OCTOPOCS: verification of propagated vulnerable code by PoC reforming.
+
+    This is the paper's primary contribution (§III), assembled from the
+    substrate libraries:
+
+    - {b Preprocessing}: find ℓ with {!Octo_clone.Clone} and identify [ep]
+      from the crash backtrace of S running [poc].
+    - {b P1}: extract crash primitives with context-aware taint analysis
+      ({!Octo_taint.Taint}).
+    - {b P2}: generate guiding inputs with directed symbolic execution
+      ({!Octo_symex.Directed} over {!Octo_cfg.Cfg}).
+    - {b P3}: combine — at every [ep] entry of T's symbolic execution, pin
+      the corresponding bunch at the file position indicator and replay the
+      tainted [ep] arguments; then solve for [poc'].
+    - {b P4}: verify by running T on [poc'] and checking for a crash inside
+      ℓ.
+
+    The verdicts mirror the paper's result classes: Type-I/II (triggered),
+    Type-III (verified not triggerable, cases i-iii of §III-D), and Failure
+    (tool error, e.g. CFG recovery). *)
+
+open Octo_vm
+module Expr = Octo_solver.Expr
+module Solve = Octo_solver.Solve
+module Taint = Octo_taint.Taint
+module Cfg = Octo_cfg.Cfg
+module Directed = Octo_symex.Directed
+module Sym_state = Octo_symex.Sym_state
+module Clone = Octo_clone.Clone
+
+type not_triggerable_reason =
+  | Ep_not_called           (** verification case (ii) *)
+  | Program_dead            (** verification case (iii) *)
+  | Constraint_conflict of int
+      (** bunch bytes or replayed ep arguments conflict with T's path
+          constraints at the given entry — e.g. a patched guard or a
+          hardcoded argument *)
+  | Unsat_model             (** combined constraints admit no concrete poc' *)
+
+type poc_type = Type_I | Type_II
+
+type verdict =
+  | Triggered of { poc' : string; ptype : poc_type }
+  | Not_triggerable of not_triggerable_reason
+  | Failure of string
+
+type report = {
+  verdict : verdict;
+  ep : string;
+  ell : string list;               (** shared functions (T-side names) *)
+  bunches : Taint.bunch list;
+  taint : Taint.result option;
+  symex : Directed.stats option;
+  elapsed_s : float;
+}
+
+let pp_reason ppf = function
+  | Ep_not_called -> Fmt.pf ppf "ep is never called in T"
+  | Program_dead -> Fmt.pf ppf "program-dead state: ℓ unreachable"
+  | Constraint_conflict k -> Fmt.pf ppf "constraints conflict at ep entry #%d" k
+  | Unsat_model -> Fmt.pf ppf "no concrete input satisfies the combined constraints"
+
+let pp_verdict ppf = function
+  | Triggered { ptype = Type_I; poc' } ->
+      Fmt.pf ppf "TRIGGERED (Type-I, %d-byte poc')" (String.length poc')
+  | Triggered { ptype = Type_II; poc' } ->
+      Fmt.pf ppf "TRIGGERED (Type-II, %d-byte poc')" (String.length poc')
+  | Not_triggerable r -> Fmt.pf ppf "NOT TRIGGERABLE (%a)" pp_reason r
+  | Failure msg -> Fmt.pf ppf "FAILURE: %s" msg
+
+let verdict_class = function
+  | Triggered { ptype = Type_I; _ } -> "Type-I"
+  | Triggered { ptype = Type_II; _ } -> "Type-II"
+  | Not_triggerable _ -> "Type-III"
+  | Failure _ -> "Failure"
+
+(** [identify_ep ~ell crash] picks [ep]: the bottom-most function of the
+    crash backtrace that belongs to ℓ — i.e. the first ℓ function entered on
+    the path to the crash (paper "Preprocessing"). *)
+let identify_ep ~(ell : string list) (crash : Interp.crash) : string option =
+  List.find_opt (fun f -> List.mem f ell) crash.backtrace
+
+(* P3: the bunch-placement callback run at every ep entry of T's symbolic
+   execution. *)
+let place_bunches (bunches : Taint.bunch list) (st : Sym_state.t) ~count ~args ~file_pos :
+    Directed.ep_action =
+  match List.nth_opt bunches (count - 1) with
+  | None -> Directed.Stop
+  | Some (b : Taint.bunch) ->
+      let ok = ref true in
+      let add c = if !ok then match Solve.add st.store c with Solve.Ok -> () | Solve.Unsat -> ok := false in
+      (* Replay the ep arguments that were input-derived in S: OCTOPOCS
+         "executes ep in T with the same parameters as those used in S". *)
+      List.iteri
+        (fun i (v, tainted) ->
+          if tainted then
+            match List.nth_opt args i with
+            | Some ae -> add { Expr.rel = Eq; lhs = ae; rhs = Expr.const v }
+            | None -> ())
+        b.ep_args;
+      (* Pin the bunch bytes relative to the file position indicator
+         (paper Fig. 5: "sym[5:9] == 0x41"-style constraints).
+
+         Context-aware bunches keep each primitive at its offset relative to
+         the entry's anchor.  A merged (context-free) bunch has no per-entry
+         anchors, so its post-anchor primitives are located "at once":
+         consecutively from the indicator — the Table III failure mode. *)
+      let place tgt v =
+        if tgt < 0 then ok := false
+        else begin
+          st.max_read_off <- max st.max_read_off (tgt + 1);
+          add { Expr.rel = Eq; lhs = Expr.byte tgt; rhs = Expr.const v }
+        end
+      in
+      if b.merged then begin
+        let rank = ref 0 in
+        List.iter
+          (fun (off, v) ->
+            if !ok then
+              if off < b.anchor then place (file_pos + (off - b.anchor)) v
+              else begin
+                place (file_pos + !rank) v;
+                incr rank
+              end)
+          b.prims
+      end
+      else
+        List.iter
+          (fun (off, v) -> if !ok then place (file_pos + (off - b.anchor)) v)
+          b.prims;
+      if not !ok then Directed.Conflict
+      else if count >= List.length bunches then Directed.Stop
+      else Directed.Continue
+
+let poc_of_model (model : Solve.model) ~length =
+  String.init length (fun i -> Char.chr (Solve.model_byte model i land 0xff))
+
+type config = {
+  taint_mode : Taint.mode;
+  taint_granularity : Taint.granularity;
+  symex : Directed.config;
+  sym_file_size : int;
+  max_steps : int;       (** concrete-run budget (hang detection) *)
+  solver_budget : int;
+  dynamic_cfg : bool;
+      (** when static CFG recovery fails on an unresolvable indirect call
+          (the paper's Idx-15 angr defect), fall back to the dynamic CFG:
+          replay T on the PoC, record indirect-call targets, and
+          devirtualize ({!Octo_cfg.Devirt}) before retrying.  Off by
+          default to reproduce the paper's Failure row. *)
+}
+
+let default_config =
+  {
+    taint_mode = Taint.Context_aware;
+    taint_granularity = Taint.Byte_level;
+    symex = Directed.default_config;
+    sym_file_size = Sym_state.default_sym_file_size;
+    max_steps = Interp.default_max_steps;
+    solver_budget = 400_000;
+    dynamic_cfg = false;
+  }
+
+(** [run ?config ?ell ~s ~t ~poc ()] executes the full pipeline.
+
+    ℓ defaults to the clone-detection result of {!Clone.shared_functions};
+    pass [?ell] to override (the paper assumes ℓ is an input).  The report
+    always carries whatever intermediate artifacts were produced, so failed
+    runs remain debuggable. *)
+let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(poc : string) ()
+    : report =
+  let t_start = Unix.gettimeofday () in
+  let finish verdict ~ep ~ell ~bunches ~taint ~symex =
+    { verdict; ep; ell; bunches; taint; symex; elapsed_s = Unix.gettimeofday () -. t_start }
+  in
+  let ell =
+    match ell with
+    | Some l -> l
+    | None -> Clone.ell_names (Clone.shared_functions s t)
+  in
+  if ell = [] then
+    finish (Failure "no shared functions between S and T") ~ep:"" ~ell ~bunches:[] ~taint:None
+      ~symex:None
+  else begin
+    (* Preprocessing: crash S, pick ep from the backtrace. *)
+    let s_run = Interp.run ~max_steps:config.max_steps s ~input:poc in
+    match s_run.outcome with
+    | Interp.Exited _ ->
+        finish (Failure "poc does not crash S") ~ep:"" ~ell ~bunches:[] ~taint:None ~symex:None
+    | Interp.Crashed crash -> (
+        match identify_ep ~ell crash with
+        | None ->
+            finish (Failure "crash occurred outside the shared code ℓ") ~ep:"" ~ell ~bunches:[]
+              ~taint:None ~symex:None
+        | Some ep -> (
+            (* P1: crash-primitive extraction. *)
+            let taint_res =
+              Taint.extract ~mode:config.taint_mode ~granularity:config.taint_granularity s
+                ~poc ~ep
+            in
+            let bunches = taint_res.bunches in
+            if bunches = [] then
+              finish (Failure "taint analysis produced no crash primitives") ~ep ~ell ~bunches
+                ~taint:(Some taint_res) ~symex:None
+            else begin
+              (* P2 prerequisite: CFG recovery; its static failure is the
+                 paper's Idx-15 tool-failure mode.  With [dynamic_cfg] the
+                 pipeline repairs it by devirtualizing against observed
+                 call targets; symbolic execution then runs on the repaired
+                 binary while P4 verifies against the original. *)
+              let cfg_result =
+                match Cfg.build t ~ep with
+                | cfg -> Ok (t, cfg)
+                | exception Cfg.Cfg_error msg ->
+                    if not config.dynamic_cfg then Error msg
+                    else begin
+                      let observed = Octo_cfg.Dyncfg.observe t ~seeds:[ poc ] in
+                      let t' = Octo_cfg.Devirt.apply t ~observed in
+                      match Cfg.build t' ~ep with
+                      | cfg -> Ok (t', cfg)
+                      | exception Cfg.Cfg_error msg2 ->
+                          Error (msg ^ "; dynamic CFG also failed: " ^ msg2)
+                    end
+              in
+              match cfg_result with
+              | Error msg ->
+                  finish (Failure ("CFG recovery failed: " ^ msg)) ~ep ~ell ~bunches
+                    ~taint:(Some taint_res) ~symex:None
+              | Ok (t_sym, cfg) ->
+                  if not (Cfg.ep_called_somewhere t_sym ~ep) then
+                    finish (Not_triggerable Ep_not_called) ~ep ~ell ~bunches
+                      ~taint:(Some taint_res) ~symex:None
+                  else begin
+                    (* P2 + P3: directed symbolic execution with bunch
+                       placement at every ep entry. *)
+                    let outcome, stats =
+                      Directed.run ~config:config.symex ~sym_file_size:config.sym_file_size
+                        t_sym ~ep ~cfg ~on_ep:(place_bunches bunches)
+                    in
+                    let symex = Some stats in
+                    match outcome with
+                    | Directed.Failed Directed.Ep_not_in_cfg ->
+                        finish (Not_triggerable Ep_not_called) ~ep ~ell ~bunches
+                          ~taint:(Some taint_res) ~symex
+                    | Directed.Failed Directed.Program_dead ->
+                        finish (Not_triggerable Program_dead) ~ep ~ell ~bunches
+                          ~taint:(Some taint_res) ~symex
+                    | Directed.Failed (Directed.Constraint_conflict k) ->
+                        finish (Not_triggerable (Constraint_conflict k)) ~ep ~ell ~bunches
+                          ~taint:(Some taint_res) ~symex
+                    | Directed.Failed (Directed.Budget_exhausted what) ->
+                        finish (Failure ("symbolic execution budget exhausted: " ^ what)) ~ep
+                          ~ell ~bunches ~taint:(Some taint_res) ~symex
+                    | Directed.Reached st -> (
+                        match Solve.solve ~budget:config.solver_budget st.store with
+                        | Solve.Unsat_result ->
+                            finish (Not_triggerable Unsat_model) ~ep ~ell ~bunches
+                              ~taint:(Some taint_res) ~symex
+                        | Solve.Unknown ->
+                            finish (Failure "constraint solver budget exhausted") ~ep ~ell
+                              ~bunches ~taint:(Some taint_res) ~symex
+                        | Solve.Sat model ->
+                            (* P4: verification. *)
+                            let poc' = poc_of_model model ~length:st.max_read_off in
+                            let t_run = Interp.run ~max_steps:config.max_steps t ~input:poc' in
+                            if Interp.crash_in t_run ~funcs:ell then begin
+                              (* Type-I iff the original poc already works
+                                 on T (its guiding input needed no
+                                 reform). *)
+                              let orig = Interp.run ~max_steps:config.max_steps t ~input:poc in
+                              let ptype =
+                                if Interp.crash_in orig ~funcs:ell then Type_I else Type_II
+                              in
+                              finish (Triggered { poc'; ptype }) ~ep ~ell ~bunches
+                                ~taint:(Some taint_res) ~symex
+                            end
+                            else
+                              finish
+                                (Failure "generated poc' did not reproduce the crash in T")
+                                ~ep ~ell ~bunches ~taint:(Some taint_res) ~symex)
+                  end
+            end))
+  end

@@ -1,0 +1,90 @@
+(** OCTOPOCS: verification of propagated vulnerable code by PoC reforming.
+
+    The public entry point of the reproduction.  Given the original
+    vulnerable program S, the propagated program T and a malformed-file PoC
+    that crashes S, {!run} decides whether the propagated clone is still
+    triggerable, producing a reformed PoC when it is (paper §III, phases
+    P1-P4). *)
+
+module Taint = Octo_taint.Taint
+module Directed = Octo_symex.Directed
+
+(** Why a vulnerability was proven not triggerable — the paper's
+    verification cases (ii), (iii) and the constraint-conflict outcomes. *)
+type not_triggerable_reason =
+  | Ep_not_called
+      (** the shared entry function is never called in T (case ii) *)
+  | Program_dead
+      (** no feasible path reaches ℓ (case iii) *)
+  | Constraint_conflict of int
+      (** bunch bytes or replayed ep arguments conflict with T's own path
+          constraints at the given ep entry (1-based) — e.g. a downstream
+          patch guard or a hardcoded argument *)
+  | Unsat_model
+      (** the combined constraint store admits no concrete input *)
+
+type poc_type =
+  | Type_I   (** the original PoC's guiding input already fits T *)
+  | Type_II  (** the guiding input had to be reformed *)
+
+type verdict =
+  | Triggered of { poc' : string; ptype : poc_type }
+      (** the reformed PoC crashes T inside ℓ *)
+  | Not_triggerable of not_triggerable_reason
+  | Failure of string
+      (** tool error (e.g. CFG recovery), not a verification result *)
+
+(** Full pipeline report: the verdict plus every intermediate artifact, so
+    failed runs remain debuggable. *)
+type report = {
+  verdict : verdict;
+  ep : string;                     (** chosen entry point of ℓ *)
+  ell : string list;               (** shared functions (T-side names) *)
+  bunches : Taint.bunch list;      (** P1 crash primitives *)
+  taint : Taint.result option;
+  symex : Directed.stats option;
+  elapsed_s : float;
+}
+
+val pp_reason : Format.formatter -> not_triggerable_reason -> unit
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** [verdict_class v] renders the paper's Table II class:
+    ["Type-I"], ["Type-II"], ["Type-III"] or ["Failure"]. *)
+val verdict_class : verdict -> string
+
+(** [identify_ep ~ell crash] picks [ep]: the bottom-most function of the
+    crash backtrace belonging to ℓ — the first ℓ function entered on the
+    path to the crash (paper "Preprocessing").  Exposed for testing. *)
+val identify_ep : ell:string list -> Octo_vm.Interp.crash -> string option
+
+(** Pipeline configuration.  {!default_config} reproduces the paper's
+    setup: context-aware byte-level taint, θ = 120, static CFG only. *)
+type config = {
+  taint_mode : Taint.mode;
+  taint_granularity : Taint.granularity;
+  symex : Directed.config;
+  sym_file_size : int;     (** symbolic input-file bound for P2 *)
+  max_steps : int;         (** concrete-run budget (hang detection) *)
+  solver_budget : int;     (** model-search node budget for P3 *)
+  dynamic_cfg : bool;
+      (** repair CFG-recovery failures by replaying T on the PoC and
+          devirtualizing observed indirect-call targets (extension; the
+          paper's Idx-15 verifies under this mode) *)
+}
+
+val default_config : config
+
+(** [run ?config ?ell ~s ~t ~poc ()] executes the full pipeline.
+
+    ℓ defaults to the clone-detection result of
+    {!Octo_clone.Clone.shared_functions}; pass [?ell] to override (the
+    paper assumes ℓ is an input). *)
+val run :
+  ?config:config ->
+  ?ell:string list ->
+  s:Octo_vm.Isa.program ->
+  t:Octo_vm.Isa.program ->
+  poc:string ->
+  unit ->
+  report

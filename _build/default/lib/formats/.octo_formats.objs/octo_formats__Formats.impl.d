@@ -1,0 +1,1 @@
+lib/formats/formats.ml: Char List Octo_util String

@@ -1,0 +1,151 @@
+(** Builders for the five synthetic file formats parsed by the Table II
+    target programs (DESIGN.md §5).
+
+    Each format is a miniature of the real container the paper's binaries
+    parse (JPEG, PDF, JPEG2000, GIF, TIFF, AVI): a magic header followed by
+    tagged, length-prefixed records.  The byte-level structure — magic
+    strings, dispatch tags, length fields, payloads — is what the PoC
+    reforming pipeline manipulates, so these miniatures exercise the same
+    mechanics as the originals. *)
+
+module B = Octo_util.Bytes_util
+
+(** Mini-JPEG: ["MJ"] then segments [[marker; len; payload...]].
+    Markers: [0xE0] app data (skipped), [0xC0] frame header (w16,h16 LE),
+    [0xDA] scan data (the vulnerable decoder), [0xD9] end of image. *)
+module Mjpg = struct
+  let magic = "MJ"
+  let m_app = 0xE0
+  let m_frame = 0xC0
+  let m_scan = 0xDA
+  let m_end = 0xD9
+
+  let segment ~marker payload =
+    B.concat [ B.of_int_list [ marker; String.length payload land 0xff ]; payload ]
+
+  let frame_header ~w ~h = segment ~marker:m_frame (B.concat [ B.u16le w; B.u16le h ])
+
+  let file segments = B.concat ((magic :: segments) @ [ B.of_int_list [ m_end; 0 ] ])
+
+  (** A small well-formed image, used as fuzzer seed. *)
+  let valid_sample () =
+    file [ frame_header ~w:4 ~h:4; segment ~marker:m_scan (B.repeat 8 0x11) ]
+end
+
+(** Mini-PDF: ["%MPD"] then objects [[type; len; payload...]].
+    Types: ['P'] page, ['F'] font record, ['S'] embedded stream,
+    ['X'] xref record (off8), ['E'] end. *)
+module Mpdf = struct
+  let magic = "%MPD"
+  let o_page = Char.code 'P'
+  let o_font = Char.code 'F'
+  let o_stream = Char.code 'S'
+  let o_xref = Char.code 'X'
+  let o_end = Char.code 'E'
+
+  let obj ~typ payload =
+    B.concat [ B.of_int_list [ typ; String.length payload land 0xff ]; payload ]
+
+  let file objects = B.concat ((magic :: objects) @ [ B.of_int_list [ o_end; 0 ] ])
+
+  let valid_sample () =
+    file [ obj ~typ:o_page (B.repeat 4 0x20); obj ~typ:o_font (B.repeat 6 0x41) ]
+end
+
+(** Mini-JPEG2000 codestream: ["J2"] then boxes [[type; len; payload...]].
+    Types: [0x54] tile-part (vulnerable decoder; its header additionally
+    carries the two SOT sub-marker bytes [0x93 0x5A] before the length),
+    [0x51] size header, [0x45] end of codestream. *)
+module Mj2k = struct
+  let magic = "J2"
+  (* Standalone codestream files carry a longer container signature than
+     the bare "J2" marker used when embedded in a PDF stream. *)
+  let raw_magic = "OJ2K"
+  let b_tile = 0x54
+  let b_size = 0x51
+  let b_end = 0x45
+  let sot1 = 0x93
+  let sot2 = 0x5A
+
+  let box ~typ payload =
+    B.concat [ B.of_int_list [ typ; String.length payload land 0xff ]; payload ]
+
+  (** Tile-part box: [[0x54; 0x93; 0x5A; len; payload...]]. *)
+  let tile_part payload =
+    B.concat [ B.of_int_list [ b_tile; sot1; sot2; String.length payload land 0xff ]; payload ]
+
+  let file boxes = B.concat ((magic :: boxes) @ [ B.of_int_list [ b_end; 0 ] ])
+
+  (** Standalone file as consumed by opj_dump. *)
+  let raw_file boxes = B.concat ((raw_magic :: boxes) @ [ B.of_int_list [ b_end; 0 ] ])
+
+  let valid_sample () = file [ box ~typ:b_size (B.repeat 4 0x01); tile_part (B.repeat 8 0x22) ]
+end
+
+(** Mini-GIF: ["MG"] + 3 version bytes + blocks [[type; len; payload...]].
+    Types: [0x2C] image descriptor (vulnerable decoder), [0x21] extension,
+    [0x3B] trailer. *)
+module Mgif = struct
+  let magic = "MG"
+  let version_ok = "87a"
+  let b_image = 0x2C
+  let b_ext = 0x21
+  let b_trailer = 0x3B
+
+  (* Image descriptors carry two header bytes that parsers validate. *)
+  let image_flag = 0x77
+  let image_flag2 = 0x88
+
+  let block ~typ payload =
+    B.concat [ B.of_int_list [ typ; String.length payload land 0xff ]; payload ]
+
+  (** Image descriptor block: [[0x2C; flag; flag2; len; payload...]]. *)
+  let image_block payload =
+    B.concat
+      [ B.of_int_list [ b_image; image_flag; image_flag2; String.length payload land 0xff ];
+        payload ]
+
+  let file ~version blocks =
+    B.concat ((magic :: version :: blocks) @ [ B.of_int_list [ b_trailer ] ])
+
+  let valid_sample () = file ~version:version_ok [ image_block (B.repeat 8 0x33) ]
+end
+
+(** Mini-TIFF: ["II"] + entry count byte + directory entries [[tag; value]].
+    Tag [0x3d] is the one whose field write is out of bounds in the
+    vulnerable shared accessor (the CVE-2016-10095 analogue). *)
+module Mtif = struct
+  let magic = "II"
+  let tag_vuln = 0x3d
+
+  let entry ~tag ~value = B.of_int_list [ tag; value ]
+
+  let file entries = B.concat (magic :: B.of_int_list [ List.length entries ] :: entries)
+
+  let valid_sample () = file [ entry ~tag:0x01 ~value:4; entry ~tag:0x02 ~value:4 ]
+end
+
+(** Mini-AVI: ["AV"] then frame records [[0x46; len; payload...]] terminated
+    by [0x00]. *)
+module Mavi = struct
+  let magic = "AV"
+  let r_frame = 0x46
+  let r_end = 0x00
+
+  let frame payload =
+    B.concat [ B.of_int_list [ r_frame; String.length payload land 0xff ]; payload ]
+
+  let file frames = B.concat ((magic :: frames) @ [ B.of_int_list [ r_end ] ])
+
+  let valid_sample () = file [ frame (B.repeat 4 0x10) ]
+end
+
+(** Mini-BMP: ["BM"] + w byte + h byte + pixel bytes; used by the Idx-11
+    target whose cloned TIFF accessor is dead code. *)
+module Mbmp = struct
+  let magic = "BM"
+
+  let file ~w ~h pixels = B.concat [ magic; B.of_int_list [ w; h ]; pixels ]
+
+  let valid_sample () = file ~w:2 ~h:2 (B.repeat 4 0x55)
+end

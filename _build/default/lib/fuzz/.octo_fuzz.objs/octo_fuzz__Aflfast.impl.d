@@ -1,0 +1,1 @@
+lib/fuzz/aflfast.ml: Array Coverage Hashtbl Interp Isa List Mutate Octo_util Octo_vm Queue Seq Unix

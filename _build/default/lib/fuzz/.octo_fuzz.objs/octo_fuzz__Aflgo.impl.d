@@ -1,0 +1,1 @@
+lib/fuzz/aflgo.ml: Array Bytes Coverage Hashtbl Interp Isa List Mutate Octo_cfg Octo_util Octo_vm Printf Queue Unix

@@ -1,0 +1,1 @@
+lib/fuzz/coverage.ml: Bytes Hashtbl Interp Isa Octo_vm

@@ -1,0 +1,1 @@
+lib/fuzz/mutate.ml: Array Bytes Char Fun List Octo_util Seq String

@@ -1,0 +1,109 @@
+(** AFL-style mutation operators, driven by the deterministic PRNG so fuzz
+    campaigns are reproducible. *)
+
+module Rng = Octo_util.Rng
+
+let interesting = [| 0; 1; 16; 17; 32; 64; 100; 127; 128; 255 |]
+
+(* Single havoc operators; each takes and returns a byte string. *)
+
+let flip_bit rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Rng.int rng (Bytes.length b) in
+    Bytes.set_uint8 b i (Bytes.get_uint8 b i lxor (1 lsl Rng.int rng 8));
+    Bytes.to_string b
+  end
+
+let set_interesting rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.set_uint8 b (Rng.int rng (Bytes.length b)) (Rng.choose rng interesting);
+    Bytes.to_string b
+  end
+
+let arith rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Rng.int rng (Bytes.length b) in
+    let delta = Rng.int rng 35 - 17 in
+    Bytes.set_uint8 b i ((Bytes.get_uint8 b i + delta) land 0xff);
+    Bytes.to_string b
+  end
+
+let overwrite_random rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.set_uint8 b (Rng.int rng (Bytes.length b)) (Rng.byte rng);
+    Bytes.to_string b
+  end
+
+let insert_block rng s =
+  let len = 1 + Rng.int rng 32 in
+  let blob = String.init len (fun _ -> Char.chr (Rng.byte rng)) in
+  let pos = Rng.int rng (String.length s + 1) in
+  String.sub s 0 pos ^ blob ^ String.sub s pos (String.length s - pos)
+
+let clone_block rng s =
+  if String.length s = 0 then s
+  else begin
+    let len = 1 + Rng.int rng (min 32 (String.length s)) in
+    let src = Rng.int rng (String.length s - len + 1) in
+    let blob = String.sub s src len in
+    let pos = Rng.int rng (String.length s + 1) in
+    String.sub s 0 pos ^ blob ^ String.sub s pos (String.length s - pos)
+  end
+
+let delete_block rng s =
+  if String.length s <= 1 then s
+  else begin
+    let len = 1 + Rng.int rng (min 16 (String.length s - 1)) in
+    let pos = Rng.int rng (String.length s - len + 1) in
+    String.sub s 0 pos ^ String.sub s (pos + len) (String.length s - pos - len)
+  end
+
+let ops = [| flip_bit; set_interesting; arith; overwrite_random; insert_block; clone_block; delete_block |]
+
+(** [havoc rng s] applies a random stack of 1-6 operators, AFL's havoc
+    stage. *)
+let havoc rng s =
+  let n = 1 + Rng.int rng 6 in
+  let rec go i acc = if i >= n then acc else go (i + 1) ((Rng.choose rng ops) rng acc) in
+  go 0 s
+
+(** [splice rng a b] joins a prefix of [a] with a suffix of [b] and havocs
+    the result, AFL's splice stage. *)
+let splice rng a b =
+  if String.length a = 0 || String.length b = 0 then havoc rng (a ^ b)
+  else begin
+    let cut_a = Rng.int rng (String.length a) in
+    let cut_b = Rng.int rng (String.length b) in
+    havoc rng (String.sub a 0 cut_a ^ String.sub b cut_b (String.length b - cut_b))
+  end
+
+(** [deterministic s] enumerates AFL's deterministic first pass: per-byte
+    interesting values and small arithmetic.  Returned lazily as a sequence
+    to avoid materialising the whole set. *)
+let deterministic (s : string) : string Seq.t =
+  let per_byte i =
+    let variants =
+      Array.to_list (Array.map (fun v -> (i, v)) interesting)
+      @ List.concat_map
+          (fun d -> [ (i, (Char.code s.[i] + d) land 0xff); (i, (Char.code s.[i] - d) land 0xff) ])
+          [ 1; 2; 4; 8; 16; 17; 32 ]
+    in
+    List.to_seq variants
+  in
+  Seq.concat_map
+    (fun i ->
+      Seq.map
+        (fun (i, v) ->
+          let b = Bytes.of_string s in
+          Bytes.set_uint8 b i v;
+          Bytes.to_string b)
+        (per_byte i))
+    (Seq.init (String.length s) Fun.id)

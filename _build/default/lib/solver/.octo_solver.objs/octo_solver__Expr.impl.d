@@ -1,0 +1,1 @@
+lib/solver/expr.ml: Array Fmt List Octo_vm

@@ -1,0 +1,1 @@
+lib/solver/solve.ml: Array Expr Hashtbl List Octo_vm

@@ -1,0 +1,315 @@
+(** Constraint solving over input-byte variables.
+
+    A {!store} maintains interval domains for every byte variable together
+    with the list of accumulated path constraints.  Adding a constraint
+    triggers interval propagation (forward evaluation plus best-effort
+    backward narrowing), which is what lets directed symbolic execution
+    prune unsatisfiable branch choices cheaply — the loop-dead test of
+    §III-B.  Full model construction ([solve]) performs backtracking search
+    with a node budget; every candidate model is verified by concrete
+    evaluation, so narrowing never needs to be complete for soundness. *)
+
+open Octo_vm.Isa
+
+type interval = int * int (* inclusive; over 0..2^32-1 *)
+
+let word_max = 0xFFFFFFFF
+let top : interval = (0, word_max)
+let byte_top : interval = (0, 255)
+
+type store = {
+  mutable doms : (int * interval) list;  (* assoc var -> domain; sorted not required *)
+  mutable cons : Expr.cond list;         (* newest first *)
+  mutable nvars : int;
+}
+
+let create () = { doms = []; cons = []; nvars = 0 }
+
+let copy s = { doms = s.doms; cons = s.cons; nvars = s.nvars }
+
+let dom s v = match List.assoc_opt v s.doms with Some d -> d | None -> byte_top
+
+let set_dom s v d = s.doms <- (v, d) :: List.remove_assoc v s.doms
+
+let constraints s = List.rev s.cons
+
+(* ------------------------------------------------------------------ *)
+(* Forward interval evaluation with wrap-awareness: any operation that
+   might wrap returns [top] rather than a wrong tight bound. *)
+
+let pow2_bound hi =
+  let rec go b = if b > hi && b - 1 <= word_max then b - 1 else go (b * 2) in
+  if hi >= word_max then word_max else go 1
+
+let rec ival s (e : Expr.t) : interval =
+  match e with
+  | Const v -> (v, v)
+  | Byte i -> dom s i
+  | Sel (table, idx) ->
+      (* Bounds over the feasible slice of the table. *)
+      let li, hi_ = ival s idx in
+      let lo = max 0 li and hi = min (Array.length table - 1) hi_ in
+      if lo > hi then (0, 0)
+      else begin
+        let mn = ref table.(lo) and mx = ref table.(lo) in
+        for i = lo to hi do
+          mn := min !mn table.(i);
+          mx := max !mx table.(i)
+        done;
+        (* An out-of-range index evaluates to 0. *)
+        if li < 0 || hi_ >= Array.length table then (min 0 !mn, !mx) else (!mn, !mx)
+      end
+  | Bin (op, a, b) ->
+      let la, ha = ival s a and lb, hb = ival s b in
+      (match op with
+      | Add -> if ha + hb <= word_max then (la + lb, ha + hb) else top
+      | Sub -> if la - hb >= 0 then (la - hb, ha - lb) else top
+      | Mul ->
+          (* Overflow-safe product bound: ha*hb can exceed the native int
+             range, so divide instead of multiplying. *)
+          if ha = 0 || hb <= word_max / ha then (la * lb, ha * hb) else top
+      | Div -> if lb > 0 then (la / hb, ha / lb) else top
+      | Mod -> if lb > 0 then (0, hb - 1) else top
+      | And -> (0, min ha hb)
+      | Or -> (max la lb, pow2_bound (max ha hb + min ha hb))
+      | Xor -> (0, pow2_bound (max ha hb + min ha hb))
+      | Shl ->
+          (* Shift counts are masked to 31, as in the VM semantics; the
+             overflow check divides rather than shifting left. *)
+          let k = lb land 31 in
+          if lb = hb && ha <= word_max lsr k then (la lsl k, ha lsl k) else top
+      | Shr ->
+          let k = lb land 31 in
+          if lb = hb then (la lsr k, ha lsr k) else (0, ha))
+
+(* ------------------------------------------------------------------ *)
+(* Condition evaluation under current domains. *)
+
+type verdict = True | False | Maybe
+
+let eval_cond_iv s (c : Expr.cond) : verdict =
+  let la, ha = ival s c.lhs and lb, hb = ival s c.rhs in
+  match c.rel with
+  | Eq -> if la = ha && lb = hb && la = lb then True else if ha < lb || la > hb then False else Maybe
+  | Ne -> if ha < lb || la > hb then True else if la = ha && lb = hb && la = lb then False else Maybe
+  | Lt -> if ha < lb then True else if la >= hb then False else Maybe
+  | Le -> if ha <= lb then True else if la > hb then False else Maybe
+  | Gt -> if la > hb then True else if ha <= lb then False else Maybe
+  | Ge -> if la >= hb then True else if ha < lb then False else Maybe
+
+(* ------------------------------------------------------------------ *)
+(* Backward narrowing: given that expression [e] must lie within [lo,hi],
+   tighten byte-variable domains.  Handles the invertible spine shapes that
+   dominate parser constraints (offsets, lengths, masked bytes); anything
+   else is left to search. *)
+
+exception Unsat_exn
+
+let inter (l1, h1) (l2, h2) =
+  let l = max l1 l2 and h = min h1 h2 in
+  if l > h then raise Unsat_exn;
+  (l, h)
+
+let rec narrow s (e : Expr.t) ((lo, hi) as want : interval) =
+  if lo > hi then raise Unsat_exn;
+  match e with
+  | Const v -> if v < lo || v > hi then raise Unsat_exn
+  | Byte i -> set_dom s i (inter (dom s i) (inter want byte_top))
+  | Sel (table, idx) ->
+      (* Only indices whose table entry lies in [want] remain feasible;
+         narrow the index to their convex hull. *)
+      let li, hi_ = ival s idx in
+      let lo_i = max 0 li and hi_i = min (Array.length table - 1) hi_ in
+      let first = ref (-1) and last = ref (-1) in
+      for i = lo_i to hi_i do
+        if table.(i) >= lo && table.(i) <= hi then begin
+          if !first < 0 then first := i;
+          last := i
+        end
+      done;
+      if !first < 0 then raise Unsat_exn else narrow s idx (!first, !last)
+  | Bin (op, a, b) -> (
+      match (op, Expr.to_const_opt a, Expr.to_const_opt b) with
+      | Add, Some k, None ->
+          if lo - k >= 0 && hi - k <= word_max then narrow s b (max 0 (lo - k), hi - k)
+      | Add, None, Some k ->
+          if lo - k >= 0 && hi - k <= word_max then narrow s a (max 0 (lo - k), hi - k)
+      | Sub, None, Some k -> if hi + k <= word_max then narrow s a (lo + k, hi + k)
+      | Mul, Some k, None when k > 0 ->
+          narrow s b ((lo + k - 1) / k, hi / k)
+      | Mul, None, Some k when k > 0 ->
+          narrow s a ((lo + k - 1) / k, hi / k)
+      | Shl, None, Some k ->
+          let k = k land 31 in
+          narrow s a ((lo + (1 lsl k) - 1) lsr k, hi lsr k)
+      | Shr, None, Some k ->
+          let k = k land 31 in
+          if hi <= word_max lsr k then
+            narrow s a (lo lsl k, (hi lsl k) lor ((1 lsl k) - 1))
+      | And, None, Some 0xff ->
+          (* Common byte-masking pattern: the mask is exact when the operand
+             is already a byte. *)
+          let la, ha = ival s a in
+          if ha <= 0xff then narrow s a (inter (la, ha) want)
+      | _ ->
+          (* No inversion known: at least check feasibility. *)
+          let l, h = ival s e in
+          if h < lo || l > hi then raise Unsat_exn)
+
+let narrow_cond s (c : Expr.cond) =
+  let la, ha = ival s c.lhs and lb, hb = ival s c.rhs in
+  match c.rel with
+  | Eq ->
+      let l = max la lb and h = min ha hb in
+      if l > h then raise Unsat_exn;
+      narrow s c.lhs (l, h);
+      narrow s c.rhs (l, h)
+  | Ne -> (
+      (* Only exact when one side is a fixed constant at a domain edge. *)
+      match (Expr.to_const_opt c.lhs, Expr.to_const_opt c.rhs) with
+      | Some v, None ->
+          if lb = hb && lb = v then raise Unsat_exn;
+          if v = lb then narrow s c.rhs (lb + 1, hb)
+          else if v = hb then narrow s c.rhs (lb, hb - 1)
+      | None, Some v ->
+          if la = ha && la = v then raise Unsat_exn;
+          if v = la then narrow s c.lhs (la + 1, ha)
+          else if v = ha then narrow s c.lhs (la, ha - 1)
+      | Some x, Some y -> if x = y then raise Unsat_exn
+      | None, None -> ())
+  | Lt ->
+      if lb = 0 && hb = 0 then raise Unsat_exn;
+      narrow s c.lhs (la, min ha (hb - 1));
+      narrow s c.rhs (max lb (la + 1), hb)
+  | Le ->
+      narrow s c.lhs (la, min ha hb);
+      narrow s c.rhs (max lb la, hb)
+  | Gt ->
+      narrow s c.lhs (max la (lb + 1), ha);
+      narrow s c.rhs (lb, min hb (ha - 1))
+  | Ge ->
+      narrow s c.lhs (max la lb, ha);
+      narrow s c.rhs (lb, min hb ha)
+
+(* Re-propagate all constraints to a fixpoint (domains only shrink, so this
+   terminates).  A pass cap guards against pathological ping-ponging. *)
+let propagate s =
+  let max_passes = 50 in
+  let rec go pass =
+    if pass >= max_passes then ()
+    else begin
+      let before = s.doms in
+      List.iter (fun c -> narrow_cond s c) s.cons;
+      if s.doms != before && s.doms <> before then go (pass + 1)
+    end
+  in
+  go 0
+
+type add_result = Ok | Unsat
+
+(** [add s c] records constraint [c] and propagates.  [Unsat] means the
+    store is now definitely unsatisfiable (domains emptied); [Ok] means it
+    may still be satisfiable. *)
+let add s (c : Expr.cond) : add_result =
+  s.cons <- c :: s.cons;
+  List.iter (fun v -> if not (List.mem_assoc v s.doms) then s.nvars <- s.nvars + 1)
+    (Expr.cond_vars c);
+  try
+    propagate s;
+    Ok
+  with Unsat_exn -> Unsat
+
+(** [entails s c] evaluates [c] under the current domains. *)
+let entails s c = eval_cond_iv s c
+
+(* ------------------------------------------------------------------ *)
+(* Model search. *)
+
+type model = (int, int) Hashtbl.t
+
+(** [model_byte m i] reads offset [i] from a model; unconstrained bytes
+    default to 0. *)
+let model_byte (m : model) i = match Hashtbl.find_opt m i with Some v -> v | None -> 0
+
+type solve_result =
+  | Sat of model
+  | Unsat_result
+  | Unknown  (** node budget exhausted *)
+
+let all_vars s =
+  List.fold_left
+    (fun acc c -> List.fold_left (fun a v -> if List.mem v a then a else v :: a) acc (Expr.cond_vars c))
+    [] s.cons
+  |> List.sort compare
+
+(* Check all constraints whose variables are fully fixed by the domains. *)
+let check_fixed s =
+  let env i =
+    let l, h = dom s i in
+    if l = h then l else raise Exit
+  in
+  List.for_all
+    (fun c -> try Expr.eval_cond env c with Exit -> true | Expr.Symbolic_division_by_zero -> false)
+    s.cons
+
+(** [solve ?budget s] searches for a concrete byte assignment satisfying
+    every constraint in [s].  The search assigns variables smallest-domain
+    first and verifies the final assignment by concrete evaluation. *)
+let solve ?(budget = 200_000) (s : store) : solve_result =
+  let nodes = ref 0 in
+  let vars = all_vars s in
+  let exception Found of model in
+  let rec go (st : store) remaining =
+    incr nodes;
+    if !nodes > budget then raise Exit;
+    (* Select the unfixed variable with the smallest domain. *)
+    let unfixed =
+      List.filter_map
+        (fun v ->
+          let l, h = dom st v in
+          if l = h then None else Some (v, h - l))
+        remaining
+    in
+    match unfixed with
+    | [] ->
+        if check_fixed st then begin
+          let m = Hashtbl.create 16 in
+          List.iter
+            (fun v ->
+              let l, _ = dom st v in
+              Hashtbl.replace m v l)
+            vars;
+          raise (Found m)
+        end
+    | _ ->
+        let v, _ = List.fold_left (fun (bv, bw) (v, w) -> if w < bw then (v, w) else (bv, bw))
+            (List.hd unfixed) (List.tl unfixed)
+        in
+        let l, h = dom st v in
+        let try_value x =
+          let st' = copy st in
+          set_dom st' v (x, x);
+          match (try propagate st'; true with Unsat_exn -> false) with
+          | true -> go st' remaining
+          | false -> ()
+        in
+        (* Ascending scan is fine: domains are at most 256 wide. *)
+        for x = l to h do
+          try_value x
+        done
+  in
+  try
+    (try propagate s with Unsat_exn -> raise Not_found);
+    go s vars;
+    Unsat_result
+  with
+  | Found m -> Sat m
+  | Exit -> Unknown
+  | Not_found -> Unsat_result
+
+(** [sat ?budget s extra] checks satisfiability of [s] plus the extra
+    constraints without mutating [s]. *)
+let sat ?budget (s : store) (extra : Expr.cond list) : solve_result =
+  let s' = copy s in
+  let ok = List.for_all (fun c -> add s' c = Ok) extra in
+  if not ok then Unsat_result else solve ?budget s'

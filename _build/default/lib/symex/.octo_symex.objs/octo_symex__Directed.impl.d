@@ -1,0 +1,1 @@
+lib/symex/directed.ml: Array Fmt Hashtbl Isa Octo_cfg Octo_solver Octo_vm Sym_state

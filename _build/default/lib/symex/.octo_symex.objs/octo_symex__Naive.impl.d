@@ -1,0 +1,1 @@
+lib/symex/naive.ml: Isa Octo_vm Queue Sym_state

@@ -1,0 +1,1 @@
+lib/symex/sym_state.ml: Array Char Hashtbl List Mem Octo_solver Octo_vm Printf String

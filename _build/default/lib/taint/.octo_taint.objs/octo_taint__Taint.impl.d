@@ -1,0 +1,1 @@
+lib/taint/taint.ml: Array Char Fmt Hashtbl Int Interp Isa List Octo_vm Set String

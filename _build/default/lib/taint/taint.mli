@@ -1,0 +1,65 @@
+(** Crash-primitive extraction by dynamic taint analysis (paper §III-A,
+    phase P1; engine design §IV-A).
+
+    Runs S concretely on the PoC under byte-granular taint tracking driven
+    by the interpreter's instrumentation hooks (the PIN analogue), and
+    groups the input bytes used inside the shared code ℓ into per-entry
+    {e bunches}. *)
+
+open Octo_vm
+
+(** Extraction mode. *)
+type mode =
+  | Plain
+      (** context-free baseline (Table III): all primitives merged into a
+          single bunch "located at once" at the first indicator *)
+  | Context_aware
+      (** the paper's contribution: one bunch per [ep] entry, each carrying
+          its own anchor and argument record *)
+
+(** Taint granularity.  [Byte_level] is the paper's §IV-A choice;
+    [Word_level] is the ablation baseline that taints whole aligned 4-byte
+    file blocks and therefore over-approximates. *)
+type granularity =
+  | Byte_level
+  | Word_level
+
+(** One crash-primitive group: the PoC bytes consumed inside ℓ during one
+    dynamic entry of [ep]. *)
+type bunch = {
+  seq : int;  (** 1-based index of the [ep] entry this bunch belongs to *)
+  prims : (int * int) list;
+      (** crash primitives: (file offset in the original poc, byte value),
+          sorted by offset *)
+  ep_args : (int * bool) list;
+      (** concrete arguments of this [ep] invocation, each flagged with
+          whether it was tainted by the input file; only tainted arguments
+          are replayed as constraints in T *)
+  anchor : int;
+      (** file position indicator at entry; bunch bytes live at
+          [offset - anchor] relative to the indicator in the reformed PoC *)
+  merged : bool;
+      (** true for the {!Plain} baseline's single merged bunch *)
+}
+
+type result = {
+  bunches : bunch list;        (** in entry order *)
+  ep_entries : int;            (** how many times execution entered [ep] *)
+  crash : Interp.crash option; (** the crash that ended the run, if any *)
+  tainted_peak : int;          (** peak number of simultaneously tainted objects *)
+  marked_offsets : int;        (** distinct poc offsets marked as primitives *)
+}
+
+(** [extract ?mode ?granularity program ~poc ~ep] runs [program] on [poc]
+    under the taint engine and returns the crash primitives.  The run
+    normally ends in the crash [poc] provokes; a clean exit yields
+    [crash = None]. *)
+val extract :
+  ?mode:mode ->
+  ?granularity:granularity ->
+  Isa.program ->
+  poc:string ->
+  ep:string ->
+  result
+
+val pp_bunch : Format.formatter -> bunch -> unit

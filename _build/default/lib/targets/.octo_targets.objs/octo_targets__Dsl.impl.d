@@ -1,0 +1,1 @@
+lib/targets/dsl.ml: Char List Octo_vm String

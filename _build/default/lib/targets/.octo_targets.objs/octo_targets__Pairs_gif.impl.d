@@ -1,0 +1,1 @@
+lib/targets/pairs_gif.ml: Char Dsl Octo_formats Octo_util Octo_vm Shared

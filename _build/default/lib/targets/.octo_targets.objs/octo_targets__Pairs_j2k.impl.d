@@ -1,0 +1,1 @@
+lib/targets/pairs_j2k.ml: Dsl Octo_formats Octo_util Octo_vm Shared String

@@ -1,0 +1,1 @@
+lib/targets/pairs_mjpg.ml: Dsl Octo_formats Octo_util Octo_vm Shared

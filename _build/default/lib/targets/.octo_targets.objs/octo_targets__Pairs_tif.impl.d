@@ -1,0 +1,1 @@
+lib/targets/pairs_tif.ml: Char Dsl Octo_formats Octo_util Octo_vm Shared

@@ -1,0 +1,1 @@
+lib/targets/registry.ml: List Octo_vm Pairs_avi Pairs_gif Pairs_j2k Pairs_mjpg Pairs_mpdf Pairs_tif Printf

@@ -1,0 +1,1 @@
+lib/targets/shared.ml: Octo_vm

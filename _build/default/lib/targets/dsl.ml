@@ -1,0 +1,46 @@
+(** Assembly idioms shared by the Table II target programs.
+
+    Register conventions for [main]-style driver functions:
+    - r28: input file descriptor
+    - r29: 64-byte scratch buffer for single-byte reads
+    - r30, r31: short-lived temporaries (r31 receives read counts)
+    Shared decoder functions manage their own registers and scratch. *)
+
+open Octo_vm.Isa
+open Octo_vm.Asm
+
+let fd = 28
+let scratch = 29
+let t0 = 30
+let tcount = 31
+
+(** Open the input file and allocate the scratch buffer. *)
+let prologue = [ I (Sys (Open fd)); I (Sys (Alloc (scratch, Imm 64))) ]
+
+(** [read_byte dst] reads exactly one byte into register [dst]; on EOF the
+    read count in [tcount] is 0 (callers branch on it when EOF matters). *)
+let read_byte dst =
+  [ I (Sys (Read (tcount, Reg fd, Reg scratch, Imm 1))); I (Load8 (dst, Reg scratch, Imm 0)) ]
+
+(** [read_byte_or ~eof dst] reads one byte, jumping to [eof] at end of
+    input. *)
+let read_byte_or ~eof dst = read_byte dst @ [ I (Jif (Eq, Reg tcount, Imm 0, eof)) ]
+
+(** [check_magic ~fail s] consumes [String.length s] bytes and jumps to
+    [fail] unless they equal [s]. *)
+let check_magic ~fail s =
+  List.concat_map
+    (fun c -> read_byte_or ~eof:fail t0 @ [ I (Jif (Ne, Reg t0, Imm (Char.code c), fail)) ])
+    (List.init (String.length s) (String.get s))
+
+(** [skip_bytes len] advances the file position by the value of [len]
+    (an operand), using seek — the library-call skip idiom. *)
+let skip_bytes len =
+  [
+    I (Sys (Tell (t0, Reg fd)));
+    I (Bin (Add, t0, Reg t0, len));
+    I (Sys (Seek (Reg fd, Reg t0)));
+  ]
+
+(** [exit_with c] terminates the program with status [c]. *)
+let exit_with c = [ I (Sys (Exit (Imm c))) ]

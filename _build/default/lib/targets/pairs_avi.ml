@@ -1,0 +1,56 @@
+(** Table II pair Idx 4: [avconv] → [ffmpeg1] on the Mini-AVI container
+    (CVE-2018-11102 analogue, CWE-119, Type-I).
+
+    The shared per-frame codec is entered once per frame record, so the PoC
+    (benign frame + oversized frame) produces two bunches — one of the
+    Table III cases where context-free taint merges them and fails. *)
+
+open Octo_vm.Isa
+open Octo_vm.Asm
+open Dsl
+module F = Octo_formats.Formats
+module B = Octo_util.Bytes_util
+
+let demux_body ~strict =
+  (prologue
+  @ check_magic ~fail:"bad" F.Mavi.magic
+  @ [ I (Mov (24, Imm 0)); L "rec" ]
+  @ read_byte_or ~eof:"bad" 20
+  @ [
+      I (Jif (Eq, Reg 20, Imm F.Mavi.r_end, "ok"));
+      I (Jif (Eq, Reg 20, Imm F.Mavi.r_frame, "frame"));
+    ]
+  @ (if strict then [ I (Jif (Eq, Reg 20, Imm 0xFF, "bad")) ] else [])
+  @ [ I (Jmp "bad"); L "frame" ]
+  @ read_byte_or ~eof:"bad" 21
+  @ [
+      I (Call ("codec_decode", [ Reg fd; Reg 21; Reg 24 ], Some 22));
+      I (Bin (Add, 24, Reg 24, Imm 1));
+      I (Jmp "rec");
+      L "ok";
+    ]
+  @ exit_with 0
+  @ [ L "bad" ]
+  @ exit_with 1)
+
+let avconv =
+  assemble ~name:"avconv" ~entry:"main"
+    [ fn "main" ~params:0 (demux_body ~strict:false); Shared.codec_decode ]
+
+let ffmpeg1 =
+  assemble ~name:"ffmpeg1" ~entry:"main"
+    [
+      fn "main" ~params:0
+        [
+          I (Sys (Emit (Imm 0x66)));  (* "f" *)
+          I (Call ("demux", [], Some 20));
+          I (Sys (Exit (Reg 20)));
+        ];
+      fn "demux" ~params:0 (demux_body ~strict:true @ [ I (Ret (Imm 0)) ]);
+      Shared.codec_decode;
+    ]
+
+(** Frame 1 decodes cleanly; frame 2 declares 0x20 bytes and overruns the
+    16-byte codec buffer. *)
+let poc_frame_overflow =
+  F.Mavi.file [ F.Mavi.frame (B.repeat 4 0x10); F.Mavi.frame (B.repeat 32 0x41) ]

@@ -1,0 +1,118 @@
+(** Table II pair Idx 9: [gif2png] → [gif2png_strict] (artificial), the
+    CVE-2011-2896 analogue, Type-II.
+
+    Reproduces the paper's artificial case: the disclosed PoC carries an
+    invalid GIF version, which the original gif2png ignores; the hardened
+    build validates the version (and, in our stressor extension, a palette
+    table whose size must reconcile with a checksum byte).  OCTOPOCS must
+    reform the header to a valid version, and the palette loop forces the
+    directed executor through its loop-state retry machinery — this pair is
+    the slowest directed-symex row of Table IV and the one case AFLFast
+    solves in Table V. *)
+
+open Octo_vm.Isa
+open Octo_vm.Asm
+open Dsl
+module F = Octo_formats.Formats
+module B = Octo_util.Bytes_util
+
+let block_loop =
+  ([ I (Mov (24, Imm 0)); L "blk" ]
+  @ read_byte_or ~eof:"bad" 20
+  @ [
+      I (Jif (Eq, Reg 20, Imm F.Mgif.b_trailer, "ok"));
+      I (Bin (Add, 24, Reg 24, Imm 1));
+      I (Jif (Eq, Reg 20, Imm F.Mgif.b_image, "img"));
+    ]
+  @ read_byte_or ~eof:"bad" 21
+  @ skip_bytes (Reg 21)
+  @ [ I (Jmp "blk"); L "img" ]
+  (* Image descriptors carry two validated header bytes before the
+     length. *)
+  @ read_byte_or ~eof:"bad" 23
+  @ [ I (Jif (Ne, Reg 23, Imm F.Mgif.image_flag, "bad")) ]
+  @ read_byte_or ~eof:"bad" 23
+  @ [ I (Jif (Ne, Reg 23, Imm F.Mgif.image_flag2, "bad")) ]
+  @ read_byte_or ~eof:"bad" 21
+  @ [
+      I (Call ("gif_read_image", [ Reg fd; Reg 21; Reg 24 ], Some 22));
+      I (Jmp "blk");
+      L "ok";
+    ]
+  @ exit_with 0
+  @ [ L "bad" ]
+  @ exit_with 1)
+
+(** S: the original converter reads the three version bytes and ignores
+    them (the disclosed PoC has an invalid version and still crashes). *)
+let gif2png =
+  assemble ~name:"gif2png" ~entry:"main"
+    [
+      fn "main" ~params:0
+        (prologue
+        @ check_magic ~fail:"bad" F.Mgif.magic
+        @ read_byte_or ~eof:"bad" 17
+        @ read_byte_or ~eof:"bad" 18
+        @ read_byte_or ~eof:"bad" 19
+        @ block_loop);
+      Shared.gif_read_image;
+    ]
+
+(** T: the hardened build.  Version bytes must read "87a"; a palette table
+    follows, [rle] entries of 1-3 component bytes each, and the running
+    checksum [1 + 3*entries] must equal the last version byte (0x61), which
+    pins the entry count to 32 — satisfiable only after 32 loop-state
+    retries.  Each entry's type byte selects one of three layouts, so the
+    naive executor forks threefold per entry. *)
+let gif2png_strict =
+  assemble ~name:"gif2png_strict" ~entry:"main"
+    [
+      fn "main" ~params:0
+        (prologue
+        @ check_magic ~fail:"bad" F.Mgif.magic
+        @ read_byte_or ~eof:"bad" 17
+        @ [ I (Jif (Ne, Reg 17, Imm (Char.code '8'), "bad")) ]
+        @ read_byte_or ~eof:"bad" 18
+        @ [ I (Jif (Ne, Reg 18, Imm (Char.code '7'), "bad")) ]
+        @ read_byte_or ~eof:"bad" 19
+        @ [ I (Jif (Ne, Reg 19, Imm (Char.code 'a'), "bad")) ]
+        @ read_byte_or ~eof:"bad" 16  (* palette entry count *)
+        @ [
+            I (Mov (15, Imm 1));      (* checksum accumulator *)
+            I (Mov (14, Imm 0));      (* entry index *)
+            L "pal";
+            I (Jif (Ge, Reg 14, Reg 16, "palx"));
+          ]
+        @ read_byte_or ~eof:"bad" 13  (* entry layout selector *)
+        @ [
+            I (Jif (Eq, Reg 13, Imm 1, "p_rgb"));
+            I (Jif (Eq, Reg 13, Imm 2, "p_rgba"));
+            (* grayscale: one component *)
+            I (Sys (Read (tcount, Reg fd, Reg scratch, Imm 1)));
+            I (Jmp "p_next");
+            L "p_rgb";
+            I (Sys (Read (tcount, Reg fd, Reg scratch, Imm 3)));
+            I (Jmp "p_next");
+            L "p_rgba";
+            I (Sys (Read (tcount, Reg fd, Reg scratch, Imm 4)));
+            L "p_next";
+            I (Bin (Add, 15, Reg 15, Imm 3));
+            I (Bin (Add, 14, Reg 14, Imm 1));
+            I (Jmp "pal");
+            L "palx";
+            I (Jif (Ne, Reg 15, Reg 19, "bad"));
+          ]
+        @ block_loop);
+      Shared.gif_read_image;
+    ]
+
+(** The disclosed PoC: invalid version "xyz" (ignored by S), one extension
+    block, a benign image block, then the oversized image block that
+    overruns the 16-byte reader. *)
+let poc_gif_overflow =
+  F.Mgif.file ~version:"xyz"
+    [
+      F.Mgif.block ~typ:F.Mgif.b_ext (B.repeat 2 0x05);
+      F.Mgif.image_block (B.repeat 4 0x11);
+      F.Mgif.image_block (B.repeat 32 0x41);
+    ]

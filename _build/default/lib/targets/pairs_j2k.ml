@@ -1,0 +1,220 @@
+(** Table II pairs built on the Mini-JPEG2000 codestream.
+
+    These are the paper's header-reforming Type-II cases (§II-C, §V-B):
+
+    - Idx 7: [ghostscript] (PDF with embedded J2K stream) → [opj_dump_211]
+      (raw J2K): the PoC header must change from PDF to J2K format.
+    - Idx 8: [opj_dump_211] (raw J2K) → [mupdf] (PDF wrapping J2K): the
+      reverse header change.  MuPDF's object parser is deliberately branchy;
+      it is the Table IV/V state-explosion target.
+    - Idx 13: [ghostscript] → [opj_dump_220]: Idx-7's T patched with a
+      tile-length check → Type-III. *)
+
+open Octo_vm.Isa
+open Octo_vm.Asm
+open Dsl
+module F = Octo_formats.Formats
+module B = Octo_util.Bytes_util
+
+(* The embedded-codestream walk shared textually (not as ℓ — each program
+   has its own driver) by ghostscript and mupdf: parse boxes from the
+   current file position, dispatching tile-parts to the shared decoder.
+   Register 24 counts tiles. *)
+let j2k_box_loop ~obj_label ~bad_label =
+  [ L "j2k" ]
+  @ check_magic ~fail:bad_label F.Mj2k.magic
+  @ [ I (Mov (24, Imm 0)); L "box" ]
+  @ read_byte_or ~eof:bad_label 22
+  @ [ I (Jif (Eq, Reg 22, Imm F.Mj2k.b_tile, "tile")) ]
+  @ [ I (Jif (Eq, Reg 22, Imm F.Mj2k.b_end, obj_label)) ]
+  @ read_byte_or ~eof:bad_label 23
+  @ skip_bytes (Reg 23)
+  @ [ I (Jmp "box"); L "tile" ]
+  (* SOT sub-marker validation precedes the tile-part length. *)
+  @ read_byte_or ~eof:bad_label 21
+  @ [ I (Jif (Ne, Reg 21, Imm F.Mj2k.sot1, bad_label)) ]
+  @ read_byte_or ~eof:bad_label 21
+  @ [ I (Jif (Ne, Reg 21, Imm F.Mj2k.sot2, bad_label)) ]
+  @ read_byte_or ~eof:bad_label 23
+  @ [
+      I (Call ("j2k_tile", [ Reg fd; Reg 23; Reg 24 ], Some 25));
+      I (Bin (Add, 24, Reg 24, Imm 1));
+      I (Jmp "box");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Idx 7 / 13: S — ghostscript: a PDF interpreter that decodes embedded
+   J2K streams inline. *)
+
+let ghostscript =
+  assemble ~name:"ghostscript" ~entry:"main"
+    [
+      fn "main" ~params:0
+        (prologue
+        @ check_magic ~fail:"bad" F.Mpdf.magic
+        @ [ L "obj" ]
+        @ read_byte_or ~eof:"bad" 20
+        @ [
+            I (Jif (Eq, Reg 20, Imm F.Mpdf.o_end, "ok"));
+            I (Jif (Eq, Reg 20, Imm F.Mpdf.o_stream, "stream"));
+          ]
+        @ read_byte_or ~eof:"bad" 21
+        @ skip_bytes (Reg 21)
+        @ [ I (Jmp "obj"); L "stream" ]
+        @ read_byte_or ~eof:"bad" 21  (* stream length, unused: inline parse *)
+        @ j2k_box_loop ~obj_label:"obj" ~bad_label:"bad"
+        @ [ L "ok" ]
+        @ exit_with 0
+        @ [ L "bad" ]
+        @ exit_with 1);
+      Shared.j2k_tile;
+    ]
+
+(* T — opj_dump parsing a raw codestream. *)
+let opj_dump_body ~patched =
+  (prologue
+  @ check_magic ~fail:"bad" F.Mj2k.raw_magic
+  @ [ I (Mov (24, Imm 0)); L "box" ]
+  @ read_byte_or ~eof:"bad" 22
+  @ [ I (Jif (Eq, Reg 22, Imm F.Mj2k.b_tile, "tile")) ]
+  @ [ I (Jif (Eq, Reg 22, Imm F.Mj2k.b_end, "ok")) ]
+  @ read_byte_or ~eof:"bad" 23
+  @ skip_bytes (Reg 23)
+  @ [ I (Jmp "box"); L "tile" ]
+  (* SOT sub-marker validation precedes the tile-part length. *)
+  @ read_byte_or ~eof:"bad" 21
+  @ [ I (Jif (Ne, Reg 21, Imm F.Mj2k.sot1, "bad")) ]
+  @ read_byte_or ~eof:"bad" 21
+  @ [ I (Jif (Ne, Reg 21, Imm F.Mj2k.sot2, "bad")) ]
+  @ read_byte_or ~eof:"bad" 23
+  @ (if patched then
+       (* The 2.2.0 fix: tile-parts longer than the decode buffer are
+          refused before the copy. *)
+       [ I (Jif (Gt, Reg 23, Imm 16, "toolong")) ]
+     else [])
+  @ [
+      I (Call ("j2k_tile", [ Reg fd; Reg 23; Reg 24 ], Some 25));
+      I (Bin (Add, 24, Reg 24, Imm 1));
+      I (Jmp "box");
+      L "ok";
+    ]
+  @ exit_with 0
+  @ [ L "toolong" ]
+  @ exit_with 2
+  @ [ L "bad" ]
+  @ exit_with 1)
+
+let opj_dump_211 =
+  assemble ~name:"opj_dump_211" ~entry:"main"
+    [ fn "main" ~params:0 (opj_dump_body ~patched:false); Shared.j2k_tile ]
+
+let opj_dump_220 =
+  assemble ~name:"opj_dump_220" ~entry:"main"
+    [ fn "main" ~params:0 (opj_dump_body ~patched:true); Shared.j2k_tile ]
+
+(* ------------------------------------------------------------------ *)
+(* Idx 8: T — MuPDF.  PDF object parser with a flags preamble and a wide
+   per-object dispatch; every iteration of the object loop multiplies the
+   naive executor's state count. *)
+
+let mupdf =
+  assemble ~name:"mupdf" ~entry:"main"
+    [
+      fn "main" ~params:0
+        ([
+           (* Benign indirect call to the banner: resolvable by our CFG
+              (immediate slot), but enough to break AFLGo's instrumentation
+              pass — the Table V "tool error" on MuPDF. *)
+           I (Icall (Imm 1, [], None));
+         ]
+        @ prologue
+        @ check_magic ~fail:"bad" F.Mpdf.magic
+        @ read_byte_or ~eof:"bad" 19  (* version/flags byte, informational *)
+        (* Linearization hint table: [count] entries, each a kind byte
+           selecting one of three layouts.  Three live forks per entry make
+           the naive executor's frontier grow as 3^n — the MemError row of
+           Table IV — while directed execution exits the loop immediately. *)
+        @ read_byte_or ~eof:"bad" 17
+        @ [
+            I (Mov (16, Imm 0));
+            L "hint";
+            I (Jif (Ge, Reg 16, Reg 17, "obj"));
+          ]
+        @ read_byte_or ~eof:"bad" 15
+        @ [
+            I (Jif (Eq, Reg 15, Imm 1, "h_one"));
+            I (Jif (Eq, Reg 15, Imm 2, "h_two"));
+            I (Sys (Read (tcount, Reg fd, Reg scratch, Imm 3)));
+            I (Jmp "h_next");
+            L "h_one";
+            I (Sys (Read (tcount, Reg fd, Reg scratch, Imm 1)));
+            I (Jmp "h_next");
+            L "h_two";
+            I (Sys (Read (tcount, Reg fd, Reg scratch, Imm 2)));
+            L "h_next";
+            I (Bin (Add, 16, Reg 16, Imm 1));
+            I (Jmp "hint");
+            L "obj";
+          ]
+        @ read_byte_or ~eof:"bad" 20
+        @ [
+            I (Jif (Eq, Reg 20, Imm F.Mpdf.o_end, "ok"));
+            I (Jif (Eq, Reg 20, Imm F.Mpdf.o_stream, "stream"));
+            I (Jif (Eq, Reg 20, Imm F.Mpdf.o_page, "page"));
+            I (Jif (Eq, Reg 20, Imm F.Mpdf.o_font, "fontobj"));
+            I (Jif (Eq, Reg 20, Imm F.Mpdf.o_xref, "xrefobj"));
+          ]
+        @ read_byte_or ~eof:"bad" 21
+        @ skip_bytes (Reg 21)
+        @ [ I (Jmp "obj"); L "page" ]
+        @ read_byte_or ~eof:"bad" 21
+        @ read_byte_or ~eof:"bad" 22  (* page mode: three layouts *)
+        @ [
+            I (Jif (Eq, Reg 22, Imm 1, "pg_wide"));
+            I (Jif (Eq, Reg 22, Imm 2, "pg_tall"));
+          ]
+        @ skip_bytes (Reg 21)
+        @ [ I (Jmp "obj"); L "pg_wide" ]
+        @ skip_bytes (Reg 21)
+        @ [ I (Jmp "obj"); L "pg_tall" ]
+        @ skip_bytes (Reg 21)
+        @ [ I (Jmp "obj"); L "fontobj" ]
+        @ read_byte_or ~eof:"bad" 21
+        @ skip_bytes (Reg 21)
+        @ [ I (Jmp "obj"); L "xrefobj" ]
+        @ read_byte_or ~eof:"bad" 21
+        @ [ I (Jmp "obj"); L "stream" ]
+        @ read_byte_or ~eof:"bad" 21  (* stream length, unused *)
+        (* Stream dictionary tag: MuPDF only decodes "strm"-tagged streams. *)
+        @ check_magic ~fail:"bad" "strm"
+        @ j2k_box_loop ~obj_label:"obj" ~bad_label:"bad"
+        @ [ L "ok" ]
+        @ exit_with 0
+        @ [ L "bad" ]
+        @ exit_with 1);
+      fn "banner" ~params:0 [ I (Sys (Emit (Imm 0x4D))); I (Ret (Imm 0)) ];
+      Shared.j2k_tile;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* PoCs.  One malicious tile-part declaring 0x20 bytes overruns the
+   16-byte decode buffer at the first ep entry (matching the Table III
+   observation that the J2K pairs succeed even without context-aware
+   taint: a single bunch). *)
+
+let tile_boxes = [ F.Mj2k.tile_part (B.repeat 32 0x42) ]
+
+(** Idx 7/13 PoC: a PDF whose stream object embeds the malicious
+    codestream. *)
+let poc_pdf_wrapped =
+  let codestream = F.Mj2k.file tile_boxes in
+  B.concat
+    [
+      F.Mpdf.magic;
+      B.of_int_list [ F.Mpdf.o_stream; String.length codestream land 0xff ];
+      codestream;
+      B.of_int_list [ F.Mpdf.o_end ];
+    ]
+
+(** Idx 8 PoC: the standalone codestream. *)
+let poc_raw_j2k = F.Mj2k.raw_file tile_boxes

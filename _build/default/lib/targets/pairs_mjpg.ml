@@ -1,0 +1,182 @@
+(** Table II pairs built on the Mini-JPEG format.
+
+    - Idx 1: [jpegc] → [libgdx_img]  (CVE-2017-0700 analogue, Type-I)
+    - Idx 2: [jpegc] → [zxing_scan]  (same vulnerability, Type-I)
+    - Idx 5: [tjbench_turbo] → [tjbench_moz]  (CVE-2018-20330 analogue,
+      CWE-190, Type-I)
+
+    Both T programs of Idx 1/2 accept exactly the files S accepts (the
+    guiding input is unchanged — Type-I); they differ in code structure:
+    wrapper functions, logging, a different segment-skipping idiom. *)
+
+open Octo_vm.Isa
+open Octo_vm.Asm
+open Dsl
+module F = Octo_formats.Formats
+module B = Octo_util.Bytes_util
+
+(* ------------------------------------------------------------------ *)
+(* Idx 1 & 2: S — a standalone JPEG compressor CLI. *)
+
+let jpegc =
+  assemble ~name:"jpegc" ~entry:"main"
+    [
+      fn "main" ~params:0
+        (prologue
+        @ check_magic ~fail:"bad" F.Mjpg.magic
+        @ [ L "seg" ]
+        @ read_byte_or ~eof:"bad" 20
+        @ [ I (Jif (Eq, Reg 20, Imm F.Mjpg.m_end, "ok")) ]
+        @ read_byte_or ~eof:"bad" 21
+        @ [
+            I (Jif (Eq, Reg 20, Imm F.Mjpg.m_scan, "scan"));
+            I (Jif (Eq, Reg 20, Imm F.Mjpg.m_frame, "frame"));
+          ]
+        @ skip_bytes (Reg 21)
+        @ [
+            I (Jmp "seg");
+            L "scan";
+            I (Call ("mjpg_scan", [ Reg fd; Reg 21 ], Some 22));
+            I (Jmp "seg");
+            L "frame";
+          ]
+        @ skip_bytes (Reg 21)
+        @ [ I (Jmp "seg"); L "ok" ]
+        @ exit_with 0
+        @ [ L "bad" ]
+        @ exit_with 1);
+      Shared.mjpg_scan;
+    ]
+
+(* Idx 1: T — a game framework's image loader.  Same file acceptance, but
+   decoding lives behind a wrapper and logs a banner. *)
+let libgdx_img =
+  assemble ~name:"libgdx_img" ~entry:"main"
+    [
+      fn "main" ~params:0
+        [
+          I (Sys (Emit (Imm 0x6C)));  (* "l": loader banner *)
+          I (Sys (Open 20));
+          I (Call ("decode_image", [ Reg 20 ], Some 21));
+          I (Sys (Exit (Reg 21)));
+        ];
+      fn "decode_image" ~params:1
+        ([ I (Mov (fd, Reg 0)); I (Sys (Alloc (scratch, Imm 64))) ]
+        @ check_magic ~fail:"bad" F.Mjpg.magic
+        @ [ L "seg" ]
+        @ read_byte_or ~eof:"bad" 20
+        @ [ I (Jif (Eq, Reg 20, Imm F.Mjpg.m_end, "ok")) ]
+        @ read_byte_or ~eof:"bad" 21
+        @ [
+            (* Extra validation absent from S: reject reserved markers. *)
+            I (Jif (Eq, Reg 20, Imm 0xFF, "bad"));
+            I (Jif (Eq, Reg 20, Imm F.Mjpg.m_scan, "scan"));
+          ]
+        @ skip_bytes (Reg 21)
+        @ [
+            I (Jmp "seg");
+            L "scan";
+            I (Call ("mjpg_scan", [ Reg fd; Reg 21 ], Some 22));
+            I (Jmp "seg");
+            L "ok";
+            I (Ret (Imm 0));
+            L "bad";
+            I (Ret (Imm 1));
+          ]);
+      Shared.mjpg_scan;
+    ]
+
+(* Idx 2: T — a barcode scanner that embeds the same decoder; it skips
+   uninteresting segments by reading byte-by-byte instead of seeking. *)
+let zxing_scan =
+  assemble ~name:"zxing_scan" ~entry:"main"
+    [
+      fn "main" ~params:0
+        [
+          I (Sys (Open 20));
+          I (Call ("scan_barcode", [ Reg 20 ], Some 21));
+          I (Sys (Exit (Reg 21)));
+        ];
+      fn "scan_barcode" ~params:1
+        ([ I (Mov (fd, Reg 0)); I (Sys (Alloc (scratch, Imm 64))) ]
+        @ check_magic ~fail:"bad" F.Mjpg.magic
+        @ [ L "seg" ]
+        @ read_byte_or ~eof:"bad" 20
+        @ [ I (Jif (Eq, Reg 20, Imm F.Mjpg.m_end, "ok")) ]
+        @ read_byte_or ~eof:"bad" 21
+        @ [
+            I (Jif (Eq, Reg 20, Imm F.Mjpg.m_scan, "scan"));
+            (* Byte-wise skip loop. *)
+            I (Mov (22, Imm 0));
+            L "skip";
+            I (Jif (Ge, Reg 22, Reg 21, "seg"));
+            I (Sys (Read (tcount, Reg fd, Reg scratch, Imm 1)));
+            I (Bin (Add, 22, Reg 22, Imm 1));
+            I (Jmp "skip");
+            L "scan";
+            I (Call ("mjpg_scan", [ Reg fd; Reg 21 ], Some 23));
+            I (Jmp "seg");
+            L "ok";
+            I (Sys (Emit (Imm 0x7A)));  (* "z": decoded *)
+            I (Ret (Imm 0));
+            L "bad";
+            I (Ret (Imm 1));
+          ]);
+      Shared.mjpg_scan;
+    ]
+
+(** The malformed scan segment: its length byte (0x20) exceeds the 16-byte
+    decoder buffer, the CWE-119 trigger. *)
+let poc_scan_overflow = F.Mjpg.file [ F.Mjpg.segment ~marker:F.Mjpg.m_scan (B.repeat 32 0x41) ]
+
+(* ------------------------------------------------------------------ *)
+(* Idx 5: S — libjpeg-turbo's tjbench.  The frame header carries 16-bit
+   dimensions; [w*h*4] wraps in 32-bit arithmetic (CWE-190). *)
+
+let frame_dispatch_body ~banner =
+  (banner
+  @ prologue
+  @ check_magic ~fail:"bad" F.Mjpg.magic
+  @ [ L "seg" ]
+  @ read_byte_or ~eof:"bad" 20
+  @ [ I (Jif (Eq, Reg 20, Imm F.Mjpg.m_end, "ok")) ]
+  @ read_byte_or ~eof:"bad" 21
+  @ [ I (Jif (Eq, Reg 20, Imm F.Mjpg.m_frame, "frame")) ]
+  @ skip_bytes (Reg 21)
+  @ [
+      I (Jmp "seg");
+      L "frame";
+      I (Sys (Read (tcount, Reg fd, Reg scratch, Imm 4)));
+      I (Load8 (22, Reg scratch, Imm 0));
+      I (Load8 (23, Reg scratch, Imm 1));
+      I (Bin (Shl, 23, Reg 23, Imm 8));
+      I (Bin (Or, 22, Reg 22, Reg 23));  (* w *)
+      I (Load8 (24, Reg scratch, Imm 2));
+      I (Load8 (25, Reg scratch, Imm 3));
+      I (Bin (Shl, 25, Reg 25, Imm 8));
+      I (Bin (Or, 24, Reg 24, Reg 25));  (* h *)
+      I (Call ("img_alloc_decode", [ Reg fd; Reg 22; Reg 24 ], Some 26));
+      I (Jmp "seg");
+      L "ok";
+    ]
+  @ exit_with 0
+  @ [ L "bad" ]
+  @ exit_with 1)
+
+let tjbench_turbo =
+  assemble ~name:"tjbench_turbo" ~entry:"main"
+    [ fn "main" ~params:0 (frame_dispatch_body ~banner:[]); Shared.img_alloc_decode ]
+
+let tjbench_moz =
+  assemble ~name:"tjbench_moz" ~entry:"main"
+    [
+      fn "main" ~params:0
+        (frame_dispatch_body
+           ~banner:[ I (Sys (Emit (Imm 0x6D))); I (Sys (Emit (Imm 0x7A))) ] (* "mz" *));
+      Shared.img_alloc_decode;
+    ]
+
+(** Frame header declaring a 0x8000 x 0x8000 image: the RGBA size
+    computation wraps to 0, the allocation is empty, and the first pixel
+    write faults. *)
+let poc_dim_overflow = F.Mjpg.file [ F.Mjpg.frame_header ~w:0x8000 ~h:0x8000 ]

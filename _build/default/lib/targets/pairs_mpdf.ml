@@ -1,0 +1,218 @@
+(** Table II pairs built on the Mini-PDF format.
+
+    - Idx 3: [poppler_pdftops] → [xpdf_pdftops]  (CVE-2017-18267 analogue,
+      CWE-835 infinite xref loop, Type-I; enters ep once per xref record so
+      it is also a Table III multi-bunch case)
+    - Idx 6: [pdfalto] → [xpdf_pdfinfo]  (CVE-2019-9878 analogue, CWE-119,
+      Type-I)
+    - Idx 14: [pdfalto] → [xpdf_pdftops_411]  (Idx-6's T patched with a
+      length sanity check → Type-III)
+    - Idx 15: [pdf2htmlex] → [poppler_pdfinfo]  (CVE-2018-21009 analogue;
+      T dispatches object handlers through an unresolvable indirect call,
+      reproducing the angr CFG failure → Failure) *)
+
+open Octo_vm.Isa
+open Octo_vm.Asm
+open Dsl
+module F = Octo_formats.Formats
+module B = Octo_util.Bytes_util
+
+(* ------------------------------------------------------------------ *)
+(* Idx 3: xref records are [X][off8]; the shared walker follows byte-sized
+   "next" pointers.  Other objects are [type][len][payload]. *)
+
+let xref_loop_body ~extra =
+  (prologue
+  @ check_magic ~fail:"bad" F.Mpdf.magic
+  @ [ L "obj" ]
+  @ read_byte_or ~eof:"bad" 20
+  @ [
+      I (Jif (Eq, Reg 20, Imm F.Mpdf.o_end, "ok"));
+      I (Jif (Eq, Reg 20, Imm F.Mpdf.o_xref, "xref"));
+    ]
+  @ (if extra then
+       (* T additionally understands page objects and counts them. *)
+       [ I (Jif (Eq, Reg 20, Imm F.Mpdf.o_page, "page")) ]
+     else [])
+  @ read_byte_or ~eof:"bad" 21
+  @ skip_bytes (Reg 21)
+  @ [ I (Jmp "obj"); L "xref" ]
+  @ read_byte_or ~eof:"bad" 22
+  @ [
+      (* Remember the parse position: the walker seeks around the file. *)
+      I (Sys (Tell (24, Reg fd)));
+      I (Call ("xref_walk", [ Reg fd; Reg 22 ], Some 23));
+      I (Sys (Seek (Reg fd, Reg 24)));
+      I (Jmp "obj");
+    ]
+  @ (if extra then
+       [ L "page" ]
+       @ read_byte_or ~eof:"bad" 21
+       @ skip_bytes (Reg 21)
+       @ [ I (Bin (Add, 25, Reg 25, Imm 1)); I (Jmp "obj") ]
+     else [])
+  @ [ L "ok" ]
+  @ (if extra then [ I (Sys (Emit (Reg 25))) ] else [])
+  @ exit_with 0
+  @ [ L "bad" ]
+  @ exit_with 1)
+
+let poppler_pdftops =
+  assemble ~name:"poppler_pdftops" ~entry:"main"
+    [ fn "main" ~params:0 (xref_loop_body ~extra:false); Shared.xref_walk ]
+
+let xpdf_pdftops =
+  assemble ~name:"xpdf_pdftops" ~entry:"main"
+    [ fn "main" ~params:0 (xref_loop_body ~extra:true); Shared.xref_walk ]
+
+(** Two xref records: the first chain terminates at a zero byte (offset 9);
+    the second points at offset 10, whose value is 10 — a self-loop, the
+    CWE-835 hang. *)
+let poc_xref_cycle =
+  B.concat
+    [
+      F.Mpdf.magic;                                  (* 0..3   *)
+      B.of_int_list [ F.Mpdf.o_xref; 9 ];            (* 4,5    *)
+      B.of_int_list [ F.Mpdf.o_xref; 10 ];           (* 6,7    *)
+      B.of_int_list [ F.Mpdf.o_end ];                (* 8      *)
+      B.of_int_list [ 0x00; 10 ];                    (* 9, 10  *)
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Idx 6 / 14: font records [F][len][payload] parsed by the shared
+   font_copy; the patch of Idx-14 rejects oversized records up front. *)
+
+let font_loop_body ~banner ~patched =
+  (banner
+  @ prologue
+  @ check_magic ~fail:"bad" F.Mpdf.magic
+  @ [ L "obj" ]
+  @ read_byte_or ~eof:"bad" 20
+  @ [ I (Jif (Eq, Reg 20, Imm F.Mpdf.o_end, "ok")) ]
+  @ read_byte_or ~eof:"bad" 21
+  @ [ I (Jif (Eq, Reg 20, Imm F.Mpdf.o_font, "font")) ]
+  @ skip_bytes (Reg 21)
+  @ [ I (Jmp "obj"); L "font" ]
+  @ (if patched then
+       (* The upstream fix: font records larger than the decode buffer are
+          rejected before the vulnerable copy. *)
+       [ I (Jif (Gt, Reg 21, Imm 16, "toolong")) ]
+     else [])
+  @ [
+      I (Call ("font_copy", [ Reg fd; Reg 21 ], Some 22));
+      I (Jmp "obj");
+      L "ok";
+    ]
+  @ exit_with 0
+  @ [ L "toolong" ]
+  @ exit_with 2
+  @ [ L "bad" ]
+  @ exit_with 1)
+
+let pdfalto =
+  assemble ~name:"pdfalto" ~entry:"main"
+    [ fn "main" ~params:0 (font_loop_body ~banner:[] ~patched:false); Shared.font_copy ]
+
+let xpdf_pdfinfo =
+  assemble ~name:"xpdf_pdfinfo" ~entry:"main"
+    [
+      fn "main" ~params:0
+        (font_loop_body ~banner:[ I (Sys (Emit (Imm 0x69))) ] (* "i" *) ~patched:false);
+      Shared.font_copy;
+    ]
+
+let xpdf_pdftops_411 =
+  assemble ~name:"xpdf_pdftops_411" ~entry:"main"
+    [
+      fn "main" ~params:0
+        (font_loop_body ~banner:[ I (Sys (Emit (Imm 0x70))) ] (* "p" *) ~patched:true);
+      Shared.font_copy;
+    ]
+
+(** A font record whose declared length (0x20) overruns the 16-byte decode
+    buffer. *)
+let poc_font_overflow =
+  F.Mpdf.file [ F.Mpdf.obj ~typ:F.Mpdf.o_font (B.repeat 32 0x41) ]
+
+(* ------------------------------------------------------------------ *)
+(* Idx 15: S parses fonts like pdfalto (plus an object counter); T routes
+   every object through a handler table loaded from data and called
+   indirectly — the construct angr's CFG recovery chokes on. *)
+
+let pdf2htmlex =
+  assemble ~name:"pdf2htmlex" ~entry:"main"
+    [
+      fn "main" ~params:0
+        (prologue
+        @ [ I (Mov (25, Imm 0)) ]
+        @ check_magic ~fail:"bad" F.Mpdf.magic
+        @ [ L "obj" ]
+        @ read_byte_or ~eof:"bad" 20
+        @ [
+            I (Jif (Eq, Reg 20, Imm F.Mpdf.o_end, "ok"));
+            I (Bin (Add, 25, Reg 25, Imm 1));
+          ]
+        @ read_byte_or ~eof:"bad" 21
+        @ [ I (Jif (Eq, Reg 20, Imm F.Mpdf.o_font, "font")) ]
+        @ skip_bytes (Reg 21)
+        @ [
+            I (Jmp "obj");
+            L "font";
+            I (Call ("font_copy", [ Reg fd; Reg 21 ], Some 22));
+            I (Jmp "obj");
+            L "ok";
+            I (Sys (Emit (Reg 25)));
+          ]
+        @ exit_with 0
+        @ [ L "bad" ]
+        @ exit_with 1);
+      Shared.font_copy;
+    ]
+
+(* Function-table layout (declaration order): 0 main, 1 h_page, 2 h_font,
+   3 h_end, 4 h_skip, 5 font_copy.  The handler table is indexed by
+   [object type & 7]: 'P'&7=0, 'F'&7=6, 'E'&7=5, everything else skips. *)
+let handler_table =
+  B.of_int_list [ 1; 4; 4; 4; 4; 3; 2; 4 ]
+
+let sub_prologue = [ I (Mov (fd, Reg 0)); I (Sys (Alloc (scratch, Imm 64))) ]
+
+let skip_handler name =
+  fn name ~params:1
+    (sub_prologue
+    @ read_byte_or ~eof:"eof" 21
+    @ skip_bytes (Reg 21)
+    @ [ I (Ret (Imm 0)); L "eof"; I (Sys (Exit (Imm 1))) ])
+
+let poppler_pdfinfo =
+  assemble ~name:"poppler_pdfinfo" ~entry:"main" ~data:[ ("htab", handler_table) ]
+    [
+      fn "main" ~params:0
+        (prologue
+        @ check_magic ~fail:"bad" F.Mpdf.magic
+        @ [ L "obj" ]
+        @ read_byte_or ~eof:"bad" 20
+        @ [
+            I (Bin (And, 21, Reg 20, Imm 7));
+            I (Load8 (22, Sym "htab", Reg 21));
+            (* Indirect dispatch through the loaded slot: statically
+               unresolvable, the Idx-15 CFG-failure trigger. *)
+            I (Icall (Reg 22, [ Reg fd ], Some 23));
+            I (Jmp "obj");
+            L "bad";
+          ]
+        @ exit_with 1);
+      skip_handler "h_page";
+      fn "h_font" ~params:1
+        (sub_prologue
+        @ read_byte_or ~eof:"eof" 21
+        @ [
+            I (Call ("font_copy", [ Reg fd; Reg 21 ], Some 22));
+            I (Ret (Imm 0));
+            L "eof";
+            I (Sys (Exit (Imm 1)));
+          ]);
+      fn "h_end" ~params:1 [ I (Sys (Exit (Imm 0))) ];
+      skip_handler "h_skip";
+      Shared.font_copy;
+    ]

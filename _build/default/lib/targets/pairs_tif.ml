@@ -1,0 +1,139 @@
+(** Table II pairs Idx 10-12: [tiffsplit] → {[opj_compress], [libsdl2_img],
+    [libgdiplus]}, the CVE-2016-10095 analogue (CWE-119), all Type-III.
+
+    The shared [tif_get_field] writes out of bounds only for tag 0x3d
+    (the motivating example of paper §II-C).  The three propagated programs
+    each neutralise the clone differently:
+
+    - Idx 10 [opj_compress]: calls the accessor with hardcoded tags, so the
+      replayed tainted-argument constraint [tag = 0x3d] conflicts.
+    - Idx 11 [libsdl2_img]: carries the clone as dead code — ep is never
+      called (verification case ii).
+    - Idx 12 [libgdiplus]: the only path to the accessor sits behind
+      contradictory byte checks — program-dead (verification case iii). *)
+
+open Octo_vm.Isa
+open Octo_vm.Asm
+open Dsl
+module F = Octo_formats.Formats
+module B = Octo_util.Bytes_util
+
+(** S: splits a TIFF by walking the directory and querying every field. *)
+let tiffsplit =
+  assemble ~name:"tiffsplit" ~entry:"main"
+    [
+      fn "main" ~params:0
+        (prologue
+        @ check_magic ~fail:"bad" F.Mtif.magic
+        @ read_byte_or ~eof:"bad" 24  (* entry count *)
+        @ [
+            I (Mov (23, Imm 0));
+            L "ent";
+            I (Jif (Ge, Reg 23, Reg 24, "ok"));
+          ]
+        @ read_byte_or ~eof:"bad" 20
+        @ read_byte_or ~eof:"bad" 21
+        @ [
+            I (Call ("tif_get_field", [ Reg 20; Reg 21 ], Some 22));
+            I (Bin (Add, 23, Reg 23, Imm 1));
+            I (Jmp "ent");
+            L "ok";
+          ]
+        @ exit_with 0
+        @ [ L "bad" ]
+        @ exit_with 1);
+      Shared.tif_get_field;
+    ]
+
+(** Idx 10 T: reads directory values but queries only its seven hardcoded
+    tags — the vulnerable 0x3d can never arrive as the tag argument. *)
+let opj_compress =
+  let query tag =
+    read_byte_or ~eof:"bad" 21
+    @ [ I (Call ("tif_get_field", [ Imm tag; Reg 21 ], Some 22)) ]
+  in
+  assemble ~name:"opj_compress" ~entry:"main"
+    [
+      fn "main" ~params:0
+        (prologue
+        @ check_magic ~fail:"bad" F.Mtif.magic
+        @ read_byte_or ~eof:"bad" 24  (* entry count, informational *)
+        @ query 0x01 @ query 0x02 @ query 0x03 @ query 0x04
+        @ exit_with 0
+        @ [ L "bad" ]
+        @ exit_with 1);
+      Shared.tif_get_field;
+    ]
+
+(** Idx 11 T: a BMP loader that links the TIFF accessor but never calls
+    it. *)
+let libsdl2_img =
+  assemble ~name:"libsdl2_img" ~entry:"main"
+    [
+      fn "main" ~params:0
+        (prologue
+        @ check_magic ~fail:"bad" F.Mbmp.magic
+        @ read_byte_or ~eof:"bad" 20  (* width *)
+        @ read_byte_or ~eof:"bad" 21  (* height *)
+        @ [
+            I (Bin (Mul, 22, Reg 20, Reg 21));
+            I (Sys (Alloc (23, Reg 22)));
+            I (Mov (24, Imm 0));
+            L "px";
+            I (Jif (Ge, Reg 24, Reg 22, "ok"));
+            I (Sys (Read (tcount, Reg fd, Reg scratch, Imm 1)));
+            I (Jif (Eq, Reg tcount, Imm 0, "ok"));
+            I (Load8 (25, Reg scratch, Imm 0));
+            I (Store8 (Reg 23, Reg 24, Reg 25));
+            I (Bin (Add, 24, Reg 24, Imm 1));
+            I (Jmp "px");
+            L "ok";
+          ]
+        @ exit_with 0
+        @ [ L "bad" ]
+        @ exit_with 1);
+      Shared.tif_get_field;  (* the propagated clone: present, never called *)
+    ]
+
+(** Idx 12 T: the directory parser sits behind a little-endian check, but
+    an earlier guard already insisted on the big-endian marker byte —
+    contradictory constraints, so the call site is unreachable on every
+    input. *)
+let libgdiplus =
+  assemble ~name:"libgdiplus" ~entry:"main"
+    [
+      fn "main" ~params:0
+        (prologue
+        @ read_byte_or ~eof:"bad" 20
+        @ read_byte_or ~eof:"bad" 19
+        @ [
+            (* Only the big-endian container is supported... *)
+            I (Jif (Ne, Reg 20, Imm (Char.code 'M'), "bad"));
+            (* ...but the directory walker was imported from the
+               little-endian code path. *)
+            I (Jif (Eq, Reg 20, Imm (Char.code 'I'), "dir"));
+          ]
+        @ exit_with 0
+        @ ([ L "dir" ]
+          @ read_byte_or ~eof:"bad" 24
+          @ [
+              I (Mov (23, Imm 0));
+              L "ent";
+              I (Jif (Ge, Reg 23, Reg 24, "done"));
+            ]
+          @ read_byte_or ~eof:"bad" 21
+          @ read_byte_or ~eof:"bad" 22
+          @ [
+              I (Call ("tif_get_field", [ Reg 21; Reg 22 ], Some 25));
+              I (Bin (Add, 23, Reg 23, Imm 1));
+              I (Jmp "ent");
+              L "done";
+            ]
+          @ exit_with 0)
+        @ [ L "bad" ]
+        @ exit_with 1);
+      Shared.tif_get_field;
+    ]
+
+(** Directory with a single entry querying the vulnerable tag 0x3d. *)
+let poc_tag_overflow = F.Mtif.file [ F.Mtif.entry ~tag:F.Mtif.tag_vuln ~value:0x41 ]

@@ -1,0 +1,106 @@
+(** The evaluation dataset: the 15 S/T pairs of Table II.
+
+    Each case carries the two assembled programs, the public PoC for S, the
+    name of the known-vulnerable function (what a VUDDY user starts from),
+    and the verification outcome the paper reports.  The [in_table3] flag
+    marks the nine pairs of the context-aware-taint ablation; [in_table45]
+    marks the three pairs used in Tables IV and V. *)
+
+open Octo_vm.Isa
+
+type expected =
+  | Type_I    (** poc' triggers; guiding input unchanged *)
+  | Type_II   (** poc' triggers; guiding input reformed *)
+  | Type_III  (** verified not triggerable *)
+  | Fail      (** tool failure (CFG recovery) *)
+
+let expected_to_string = function
+  | Type_I -> "Type-I"
+  | Type_II -> "Type-II"
+  | Type_III -> "Type-III"
+  | Fail -> "Failure"
+
+type case = {
+  idx : int;
+  s : program;
+  s_version : string;
+  t : program;
+  t_version : string;
+  vuln_id : string;
+  cwe : string;         (** "CWE-119", "CWE-190", "CWE-835" or "No-CWE" *)
+  poc : string;
+  vuln_func : string;   (** the known-vulnerable shared function *)
+  expected : expected;
+  in_table3 : bool;
+  in_table45 : bool;
+}
+
+let case ~idx ~s ~s_version ~t ~t_version ~vuln_id ~cwe ~poc ~vuln_func ~expected
+    ?(in_table3 = false) ?(in_table45 = false) () =
+  { idx; s; s_version; t; t_version; vuln_id; cwe; poc; vuln_func; expected; in_table3;
+    in_table45 }
+
+let all : case list =
+  [
+    case ~idx:1 ~s:Pairs_mjpg.jpegc ~s_version:"N/A" ~t:Pairs_mjpg.libgdx_img
+      ~t_version:"1.9.10" ~vuln_id:"CVE-2017-0700" ~cwe:"No-CWE"
+      ~poc:Pairs_mjpg.poc_scan_overflow ~vuln_func:"mjpg_scan" ~expected:Type_I
+      ~in_table3:true ();
+    case ~idx:2 ~s:Pairs_mjpg.jpegc ~s_version:"N/A" ~t:Pairs_mjpg.zxing_scan
+      ~t_version:"@0a32109" ~vuln_id:"CVE-2017-0700" ~cwe:"No-CWE"
+      ~poc:Pairs_mjpg.poc_scan_overflow ~vuln_func:"mjpg_scan" ~expected:Type_I
+      ~in_table3:true ();
+    case ~idx:3 ~s:Pairs_mpdf.poppler_pdftops ~s_version:"0.59" ~t:Pairs_mpdf.xpdf_pdftops
+      ~t_version:"4.02" ~vuln_id:"CVE-2017-18267" ~cwe:"CWE-835"
+      ~poc:Pairs_mpdf.poc_xref_cycle ~vuln_func:"xref_walk" ~expected:Type_I
+      ~in_table3:true ();
+    case ~idx:4 ~s:Pairs_avi.avconv ~s_version:"12.3" ~t:Pairs_avi.ffmpeg1 ~t_version:"1.0"
+      ~vuln_id:"CVE-2018-11102" ~cwe:"CWE-119" ~poc:Pairs_avi.poc_frame_overflow
+      ~vuln_func:"codec_decode" ~expected:Type_I ~in_table3:true ();
+    case ~idx:5 ~s:Pairs_mjpg.tjbench_turbo ~s_version:"2.0.1" ~t:Pairs_mjpg.tjbench_moz
+      ~t_version:"@0xbbb7550" ~vuln_id:"CVE-2018-20330" ~cwe:"CWE-190"
+      ~poc:Pairs_mjpg.poc_dim_overflow ~vuln_func:"img_alloc_decode" ~expected:Type_I
+      ~in_table3:true ();
+    case ~idx:6 ~s:Pairs_mpdf.pdfalto ~s_version:"0.2" ~t:Pairs_mpdf.xpdf_pdfinfo
+      ~t_version:"4.0.0" ~vuln_id:"CVE-2019-9878" ~cwe:"CWE-119"
+      ~poc:Pairs_mpdf.poc_font_overflow ~vuln_func:"font_copy" ~expected:Type_I
+      ~in_table3:true ();
+    case ~idx:7 ~s:Pairs_j2k.ghostscript ~s_version:"9.26" ~t:Pairs_j2k.opj_dump_211
+      ~t_version:"2.1.1" ~vuln_id:"ghostscript-BZ697463" ~cwe:"No-CWE"
+      ~poc:Pairs_j2k.poc_pdf_wrapped ~vuln_func:"j2k_tile" ~expected:Type_II
+      ~in_table3:true ~in_table45:true ();
+    case ~idx:8 ~s:Pairs_j2k.opj_dump_211 ~s_version:"2.1.1" ~t:Pairs_j2k.mupdf
+      ~t_version:"1.9" ~vuln_id:"ghostscript-BZ697463" ~cwe:"No-CWE"
+      ~poc:Pairs_j2k.poc_raw_j2k ~vuln_func:"j2k_tile" ~expected:Type_II
+      ~in_table3:true ~in_table45:true ();
+    case ~idx:9 ~s:Pairs_gif.gif2png ~s_version:"2.5.8" ~t:Pairs_gif.gif2png_strict
+      ~t_version:"N/A" ~vuln_id:"CVE-2011-2896" ~cwe:"CWE-119"
+      ~poc:Pairs_gif.poc_gif_overflow ~vuln_func:"gif_read_image" ~expected:Type_II
+      ~in_table3:true ~in_table45:true ();
+    case ~idx:10 ~s:Pairs_tif.tiffsplit ~s_version:"4.0.6" ~t:Pairs_tif.opj_compress
+      ~t_version:"2.3.1" ~vuln_id:"CVE-2016-10095" ~cwe:"CWE-119"
+      ~poc:Pairs_tif.poc_tag_overflow ~vuln_func:"tif_get_field" ~expected:Type_III ();
+    case ~idx:11 ~s:Pairs_tif.tiffsplit ~s_version:"4.0.6" ~t:Pairs_tif.libsdl2_img
+      ~t_version:"2.0.12" ~vuln_id:"CVE-2016-10095" ~cwe:"CWE-119"
+      ~poc:Pairs_tif.poc_tag_overflow ~vuln_func:"tif_get_field" ~expected:Type_III ();
+    case ~idx:12 ~s:Pairs_tif.tiffsplit ~s_version:"4.0.6" ~t:Pairs_tif.libgdiplus
+      ~t_version:"6.0.5" ~vuln_id:"CVE-2016-10095" ~cwe:"CWE-119"
+      ~poc:Pairs_tif.poc_tag_overflow ~vuln_func:"tif_get_field" ~expected:Type_III ();
+    case ~idx:13 ~s:Pairs_j2k.ghostscript ~s_version:"9.26" ~t:Pairs_j2k.opj_dump_220
+      ~t_version:"2.2.0" ~vuln_id:"ghostscript-BZ697463" ~cwe:"No-CWE"
+      ~poc:Pairs_j2k.poc_pdf_wrapped ~vuln_func:"j2k_tile" ~expected:Type_III ();
+    case ~idx:14 ~s:Pairs_mpdf.pdfalto ~s_version:"0.2" ~t:Pairs_mpdf.xpdf_pdftops_411
+      ~t_version:"4.1.1" ~vuln_id:"CVE-2019-9878" ~cwe:"CWE-119"
+      ~poc:Pairs_mpdf.poc_font_overflow ~vuln_func:"font_copy" ~expected:Type_III ();
+    case ~idx:15 ~s:Pairs_mpdf.pdf2htmlex ~s_version:"0.14.6" ~t:Pairs_mpdf.poppler_pdfinfo
+      ~t_version:"0.41.0" ~vuln_id:"CVE-2018-21009" ~cwe:"CWE-190"
+      ~poc:Pairs_mpdf.poc_font_overflow ~vuln_func:"font_copy" ~expected:Fail ();
+  ]
+
+let find idx =
+  match List.find_opt (fun c -> c.idx = idx) all with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Registry.find: no case %d" idx)
+
+let table3_cases = List.filter (fun c -> c.in_table3) all
+let table45_cases = List.filter (fun c -> c.in_table45) all

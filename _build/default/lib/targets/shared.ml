@@ -1,0 +1,134 @@
+(** The cloned vulnerable code ℓ: decoder functions reused verbatim by both
+    S and T of each Table II pair.
+
+    Each function is the analogue of the real shared code named in the
+    paper's dataset — a JPEG scan decoder, LibTIFF's [_TIFFVGetField], a
+    JPEG2000 tile decoder, a PDF xref walker, a video codec, a GIF image
+    reader, a font record parser — carrying the same vulnerability class as
+    the corresponding CVE (CWE-119 buffer overflow, CWE-190 integer
+    overflow, CWE-835 infinite loop).  Crashes are organic memory faults of
+    the MiniVM, not assertions.
+
+    Because both sides of a pair link the exact same [src_func] value, the
+    clone detector of {!Octo_clone} finds these functions with identical
+    fingerprints — real code reuse, not a hand-fed ℓ. *)
+
+open Octo_vm.Isa
+open Octo_vm.Asm
+
+(* A bounded copy loop with an unbounded length: reads [len] bytes from the
+   file into a 16-byte buffer.  The CWE-119 shape shared by several pairs;
+   each instance below adds a distinguishing prologue so the fingerprints of
+   distinct decoders do not collide. *)
+let copy_into_16 ~name ~nparams ~tag =
+  (* r0 = fd, r1 = len; r2.. locals.  [tag] is emitted once, standing in for
+     the decoder-specific setup that makes each real function unique. *)
+  fn name ~params:nparams
+    ([
+       I (Sys (Emit (Imm tag)));
+       I (Sys (Alloc (2, Imm 16)));  (* destination buffer: 16 bytes *)
+       I (Sys (Alloc (3, Imm 4)));   (* read scratch *)
+       I (Mov (4, Imm 0));           (* i *)
+       L "loop";
+       I (Jif (Ge, Reg 4, Reg 1, "done"));
+       I (Sys (Read (5, Reg 0, Reg 3, Imm 1)));
+       I (Jif (Eq, Reg 5, Imm 0, "done"));
+       I (Load8 (6, Reg 3, Imm 0));
+       I (Store8 (Reg 2, Reg 4, Reg 6));  (* faults when i >= 16: CWE-119 *)
+       I (Bin (Add, 4, Reg 4, Imm 1));
+       I (Jmp "loop");
+       L "done";
+       I (Ret (Imm 0));
+     ])
+
+(** JPEG scan-data decoder — the CVE-2017-0700 analogue (pairs 1, 2). *)
+let mjpg_scan = copy_into_16 ~name:"mjpg_scan" ~nparams:2 ~tag:0xDA
+
+(** PDF font-record parser — the CVE-2019-9878 analogue (pairs 6, 14, 15). *)
+let font_copy = copy_into_16 ~name:"font_copy" ~nparams:2 ~tag:0xF0
+
+(** JPEG2000 tile-part decoder — the ghostscript-BZ697463 analogue
+    (pairs 7, 8, 13).  r2 of the caller carries the tile index. *)
+let j2k_tile = copy_into_16 ~name:"j2k_tile" ~nparams:3 ~tag:0x54
+
+(** Per-frame video codec — the CVE-2018-11102 analogue (pair 4). *)
+let codec_decode = copy_into_16 ~name:"codec_decode" ~nparams:3 ~tag:0x46
+
+(** GIF image-descriptor reader — the CVE-2011-2896 analogue (pair 9). *)
+let gif_read_image = copy_into_16 ~name:"gif_read_image" ~nparams:3 ~tag:0x2C
+
+(** LibTIFF field accessor — the CVE-2016-10095 analogue (pairs 10-12).
+    A switch over the tag: ordinary tags store within the 8-byte field
+    record; tag 0x3d stores far past it, the out-of-bounds write of
+    [_TIFFVGetField]. *)
+let tif_get_field =
+  fn "tif_get_field" ~params:2
+    ([
+       (* r0 = tag, r1 = value *)
+       I (Sys (Alloc (2, Imm 8)));
+       I (Jif (Eq, Reg 0, Imm 0x01, "c_width"));
+       I (Jif (Eq, Reg 0, Imm 0x02, "c_height"));
+       I (Jif (Eq, Reg 0, Imm 0x03, "c_depth"));
+       I (Jif (Eq, Reg 0, Imm 0x3d, "c_pagename"));
+       I (Store8 (Reg 2, Imm 0, Reg 1));
+       I (Ret (Imm 0));
+       L "c_width";
+       I (Store8 (Reg 2, Imm 1, Reg 1));
+       I (Ret (Imm 0));
+       L "c_height";
+       I (Store8 (Reg 2, Imm 2, Reg 1));
+       I (Ret (Imm 0));
+       L "c_depth";
+       I (Store8 (Reg 2, Imm 3, Reg 1));
+       I (Ret (Imm 0));
+       L "c_pagename";
+       (* The vulnerable case: writes 16 bytes past an 8-byte record. *)
+       I (Store8 (Reg 2, Imm 16, Reg 1));
+       I (Ret (Imm 0));
+     ])
+
+(** PDF xref-chain walker — the CVE-2017-18267 infinite-loop analogue
+    (pair 3).  Follows single-byte "next" pointers; a pointer cycle hangs
+    the process (CWE-835, surfacing as the MiniVM step-budget fault). *)
+let xref_walk =
+  fn "xref_walk" ~params:2
+    ([
+       (* r0 = fd, r1 = start offset *)
+       I (Sys (Alloc (2, Imm 4)));
+       I (Sys (Seek (Reg 0, Reg 1)));
+       L "walk";
+       I (Sys (Read (3, Reg 0, Reg 2, Imm 1)));
+       I (Jif (Eq, Reg 3, Imm 0, "done"));
+       I (Load8 (4, Reg 2, Imm 0));
+       I (Jif (Eq, Reg 4, Imm 0, "done"));
+       I (Sys (Seek (Reg 0, Reg 4)));
+       I (Jmp "walk");
+       L "done";
+       I (Ret (Imm 0));
+     ])
+
+(** Image allocator + decoder — the CVE-2018-20330 integer-overflow
+    analogue (pair 5).  [w*h*4] wraps in 32 bits for large dimensions,
+    producing an undersized allocation that the pixel writes overflow. *)
+let img_alloc_decode =
+  fn "img_alloc_decode" ~params:3
+    ([
+       (* r0 = fd, r1 = w, r2 = h *)
+       I (Bin (Mul, 3, Reg 1, Reg 2));
+       I (Bin (Mul, 3, Reg 3, Imm 4));  (* RGBA stride: CWE-190 wrap site *)
+       I (Sys (Alloc (4, Reg 3)));
+       I (Mov (5, Imm 0));
+       L "px";
+       I (Jif (Ge, Reg 5, Imm 4, "done"));
+       I (Store8 (Reg 4, Reg 5, Imm 0xFF)); (* faults when the alloc wrapped *)
+       I (Bin (Add, 5, Reg 5, Imm 1));
+       I (Jmp "px");
+       L "done";
+       I (Ret (Reg 4));
+     ])
+
+(** All shared decoders, for linking convenience and clone-detection
+    tests. *)
+let all =
+  [ mjpg_scan; font_copy; j2k_tile; codec_decode; gif_read_image; tif_get_field;
+    xref_walk; img_alloc_decode ]

@@ -1,0 +1,1 @@
+lib/util/bytes_util.ml: Buffer Bytes Char List Printf String

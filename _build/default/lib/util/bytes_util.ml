@@ -1,0 +1,64 @@
+(** Byte-string helpers shared across the PoC-manipulation code paths. *)
+
+(** [of_int_list l] builds a byte string from integer byte values
+    (each masked to 8 bits). *)
+let of_int_list l =
+  let b = Bytes.create (List.length l) in
+  List.iteri (fun i v -> Bytes.set_uint8 b i (v land 0xff)) l;
+  Bytes.to_string b
+
+(** [to_int_list s] is the inverse of {!of_int_list}. *)
+let to_int_list s = List.init (String.length s) (fun i -> Char.code s.[i])
+
+(** [concat parts] concatenates byte strings. *)
+let concat parts = String.concat "" parts
+
+(** [u16le v] encodes [v] as two little-endian bytes. *)
+let u16le v = of_int_list [ v land 0xff; (v lsr 8) land 0xff ]
+
+(** [u32le v] encodes [v] as four little-endian bytes. *)
+let u32le v =
+  of_int_list [ v land 0xff; (v lsr 8) land 0xff; (v lsr 16) land 0xff; (v lsr 24) land 0xff ]
+
+(** [repeat n c] is a string of [n] copies of byte [c]. *)
+let repeat n c = String.make n (Char.chr (c land 0xff))
+
+(** [hexdump s] renders [s] in the classic 16-bytes-per-line hex layout,
+    used by the CLI and examples when showing PoC files. *)
+let hexdump s =
+  let buf = Buffer.create (String.length s * 4) in
+  let n = String.length s in
+  let rec line off =
+    if off < n then begin
+      Buffer.add_string buf (Printf.sprintf "%08x  " off);
+      for i = off to off + 15 do
+        if i < n then Buffer.add_string buf (Printf.sprintf "%02x " (Char.code s.[i]))
+        else Buffer.add_string buf "   ";
+        if i - off = 7 then Buffer.add_char buf ' '
+      done;
+      Buffer.add_string buf " |";
+      for i = off to min (off + 15) (n - 1) do
+        let c = s.[i] in
+        Buffer.add_char buf (if c >= ' ' && c <= '~' then c else '.')
+      done;
+      Buffer.add_string buf "|\n";
+      line (off + 16)
+    end
+  in
+  line 0;
+  Buffer.contents buf
+
+(** [diff_offsets a b] lists the offsets at which [a] and [b] differ
+    (including length mismatch tails).  Used to classify Type-I vs Type-II
+    guiding-input changes in reports. *)
+let diff_offsets a b =
+  let la = String.length a and lb = String.length b in
+  let n = max la lb in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let ca = if i < la then Some a.[i] else None in
+      let cb = if i < lb then Some b.[i] else None in
+      if ca = cb then go (i + 1) acc else go (i + 1) (i :: acc)
+  in
+  go 0 []

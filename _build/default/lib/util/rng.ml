@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the reproduction (fuzzers, workload
+    generators) draws from this generator so that benchmark tables are
+    reproducible run-to-run.  The implementation follows Steele et al.'s
+    splitmix64 reference, truncated to OCaml's 63-bit native ints. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* One splitmix64 step: golden-gamma increment then two xor-shift mixes. *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [bits t] returns 62 uniformly random non-negative bits. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(** [int t n] returns a uniform value in [0, n).  [n] must be positive. *)
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod n
+
+(** [byte t] returns a uniform value in [0, 255]. *)
+let byte t = int t 256
+
+(** [bool t] flips a fair coin. *)
+let bool t = bits t land 1 = 1
+
+(** [choose t arr] picks a uniform element of [arr]. *)
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+(** [split t] derives an independent generator, advancing [t]. *)
+let split t = { state = next_int64 t }

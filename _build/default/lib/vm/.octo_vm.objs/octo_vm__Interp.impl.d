@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Char Fmt Isa List Mem String Vfile

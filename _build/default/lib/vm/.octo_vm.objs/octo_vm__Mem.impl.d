@@ -1,0 +1,1 @@
+lib/vm/mem.ml: Asm Bytes Fmt List String

@@ -1,0 +1,1 @@
+lib/vm/vfile.ml: List String

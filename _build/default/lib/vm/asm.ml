@@ -1,0 +1,145 @@
+(** Assembler DSL for MiniVM programs.
+
+    Target programs (the S/T pairs of Table II) are written as lists of
+    {!item}s: labelled pseudo-instructions with string jump targets and
+    symbolic data references.  [assemble] resolves labels to instruction
+    indices, lays out the read-only data section, and builds the function
+    table used by indirect calls. *)
+
+open Isa
+
+type item =
+  | L of string       (** label definition *)
+  | I of pinstr       (** instruction *)
+
+type src_func = {
+  name : string;
+  params : int;
+  body : item list;
+}
+
+exception Asm_error of string
+
+let asm_error fmt = Printf.ksprintf (fun s -> raise (Asm_error s)) fmt
+
+(* Data section base: addresses below this are the unmapped "null page", so
+   loads through a corrupted-to-zero pointer fault as null dereferences. *)
+let data_base = 0x1000
+
+(** [fn name ~params body] declares a source function. *)
+let fn name ~params body = { name; params; body }
+
+(* Label resolution: a label names the index of the next real instruction. *)
+let resolve_labels body =
+  let table = Hashtbl.create 16 in
+  let idx = ref 0 in
+  List.iter
+    (function
+      | L lbl ->
+          if Hashtbl.mem table lbl then asm_error "duplicate label %S" lbl;
+          Hashtbl.replace table lbl !idx
+      | I _ -> incr idx)
+    body;
+  table
+
+let resolve_operand syms = function
+  | Sym s -> (
+      match Hashtbl.find_opt syms s with
+      | Some addr -> Imm addr
+      | None -> asm_error "unknown data symbol %S" s)
+  | (Reg _ | Imm _) as op -> op
+
+let resolve_syscall syms sc =
+  let op = resolve_operand syms in
+  match sc with
+  | Open r -> Open r
+  | Read (d, fd, buf, len) -> Read (d, op fd, op buf, op len)
+  | Seek (fd, p) -> Seek (op fd, op p)
+  | Tell (d, fd) -> Tell (d, op fd)
+  | Fsize (d, fd) -> Fsize (d, op fd)
+  | Mmap (d, fd) -> Mmap (d, op fd)
+  | Alloc (d, sz) -> Alloc (d, op sz)
+  | Exit c -> Exit (op c)
+  | Emit v -> Emit (op v)
+
+let resolve_instr labels syms (ins : pinstr) : instr =
+  let op = resolve_operand syms in
+  let target lbl =
+    match Hashtbl.find_opt labels lbl with
+    | Some i -> i
+    | None -> asm_error "unknown label %S" lbl
+  in
+  match ins with
+  | Mov (d, a) -> Mov (d, op a)
+  | Bin (b, d, x, y) -> Bin (b, d, op x, op y)
+  | Load8 (d, b, o) -> Load8 (d, op b, op o)
+  | Store8 (b, o, v) -> Store8 (op b, op o, op v)
+  | LoadW (d, b, o) -> LoadW (d, op b, op o)
+  | StoreW (b, o, v) -> StoreW (op b, op o, op v)
+  | Jmp t -> Jmp (target t)
+  | Jif (r, a, b, t) -> Jif (r, op a, op b, target t)
+  | Call (f, args, dst) -> Call (f, List.map op args, dst)
+  | Icall (f, args, dst) -> Icall (op f, List.map op args, dst)
+  | Ret v -> Ret (op v)
+  | Sys sc -> Sys (resolve_syscall syms sc)
+  | Halt -> Halt
+
+(** [assemble ~name ~entry ~data funcs] builds an executable program.
+
+    [data] is a list of (symbol, bytes) laid out consecutively from the data
+    base address.  Function-table slots are assigned in declaration order, so
+    an [Icall] through immediate [i] invokes the [i]-th declared function. *)
+let assemble ~name ~entry ?(data = []) (funcs : src_func list) : program =
+  let syms = Hashtbl.create 16 in
+  let addr = ref data_base in
+  let placed =
+    List.map
+      (fun (sym, bytes) ->
+        if Hashtbl.mem syms sym then asm_error "duplicate data symbol %S" sym;
+        let a = !addr in
+        Hashtbl.replace syms sym a;
+        addr := !addr + String.length bytes;
+        (sym, a, bytes))
+      data
+  in
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem table f.name then asm_error "duplicate function %S" f.name;
+      let labels = resolve_labels f.body in
+      let code =
+        List.filter_map (function L _ -> None | I i -> Some i) f.body
+        |> Array.of_list
+        |> Array.map (resolve_instr labels syms)
+      in
+      Hashtbl.replace table f.name { fname = f.name; nparams = f.params; code })
+    funcs;
+  if not (Hashtbl.mem table entry) then asm_error "entry function %S not defined" entry;
+  (* Validate direct call targets and arity at assembly time so target-pair
+     bugs surface early rather than as runtime faults. *)
+  Hashtbl.iter
+    (fun _ f ->
+      Array.iter
+        (function
+          | Call (callee, args, _) -> (
+              match Hashtbl.find_opt table callee with
+              | None -> asm_error "call to undefined function %S (in %s)" callee f.fname
+              | Some g ->
+                  if List.length args <> g.nparams then
+                    asm_error "call to %S with %d args, expected %d (in %s)" callee
+                      (List.length args) g.nparams f.fname)
+          | _ -> ())
+        f.code)
+    table;
+  {
+    pname = name;
+    entry;
+    funcs = table;
+    ftable = Array.of_list (List.map (fun f -> f.name) funcs);
+    data = placed;
+  }
+
+(** [size_of_code p] counts instructions across all functions; stands in for
+    the paper's "binary size" when discussing fuzzer efficiency. *)
+let size_of_code (p : program) =
+  Hashtbl.fold (fun _ f acc -> acc + Array.length f.code) p.funcs 0

@@ -1,0 +1,164 @@
+(** Instruction-set architecture of MiniVM.
+
+    MiniVM is the binary substrate standing in for the x86 programs the paper
+    instruments with Intel PIN and executes with angr (see DESIGN.md §2).  It
+    is a 32-bit register machine: every function owns 32 registers, memory is
+    byte-addressed with bounds-checked regions, and programs interact with an
+    input file through syscalls.  Crashes arise organically from memory-safety
+    faults, exactly as in the C/C++ targets of the paper.
+
+    Instructions are polymorphic in the jump-label type: the assembler DSL
+    uses string labels (['lbl = string]); assembled code uses instruction
+    indices (['lbl = int]).  *)
+
+type reg = int
+(** Register index, 0..31.  Arguments of an [n]-ary function arrive in
+    registers 0..n-1; all other registers start at 0. *)
+
+type operand =
+  | Reg of reg        (** register contents *)
+  | Imm of int        (** immediate (masked to 32 bits at use) *)
+  | Sym of string     (** address of a data-section symbol; the assembler
+                          rewrites this to [Imm] *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or | Xor | Shl | Shr
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge
+(** Comparisons are unsigned over the 32-bit value domain. *)
+
+(** Syscalls.  [fd] 0 always denotes the single input file (the PoC). *)
+type syscall =
+  | Open of reg                               (** [fd <- open(input)] *)
+  | Read of reg * operand * operand * operand (** [n <- read fd buf len] *)
+  | Seek of operand * operand                 (** [seek fd pos] *)
+  | Tell of reg * operand                     (** [pos <- tell fd]: the file
+                                                  position indicator used by
+                                                  the combining phase P3 *)
+  | Fsize of reg * operand                    (** [n <- size fd] *)
+  | Mmap of reg * operand                     (** [addr <- mmap fd] *)
+  | Alloc of reg * operand                    (** [addr <- alloc size] *)
+  | Exit of operand                           (** terminate with code *)
+  | Emit of operand                           (** append value to the
+                                                  program's output channel *)
+
+type 'lbl instr_g =
+  | Mov of reg * operand
+  | Bin of binop * reg * operand * operand
+  | Load8 of reg * operand * operand          (** [dst <- mem8[base+off]] *)
+  | Store8 of operand * operand * operand     (** [mem8[base+off] <- v] *)
+  | LoadW of reg * operand * operand          (** 32-bit little-endian load *)
+  | StoreW of operand * operand * operand     (** 32-bit little-endian store *)
+  | Jmp of 'lbl
+  | Jif of relop * operand * operand * 'lbl   (** conditional jump *)
+  | Call of string * operand list * reg option(** direct call; optional
+                                                  destination register for the
+                                                  return value *)
+  | Icall of operand * operand list * reg option
+      (** indirect call through the function table; unresolvable targets are
+          what trips the CFG builder on Table II's Idx-15 *)
+  | Ret of operand
+  | Sys of syscall
+  | Halt
+
+type pinstr = string instr_g
+(** Pre-assembly instruction: jump targets are label names. *)
+
+type instr = int instr_g
+(** Assembled instruction: jump targets are instruction indices. *)
+
+type func = {
+  fname : string;
+  nparams : int;
+  code : instr array;
+}
+
+type program = {
+  pname : string;
+  entry : string;
+  funcs : (string, func) Hashtbl.t;
+  ftable : string array;
+      (** function table for indirect calls: [Icall] operands index here *)
+  data : (string * int * string) list;
+      (** data section: (symbol, address, bytes); loaded read-only *)
+}
+
+let func_exn p name =
+  match Hashtbl.find_opt p.funcs name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Isa.func_exn: no function %S in %s" name p.pname)
+
+let mask32 v = v land 0xFFFFFFFF
+
+(** [eval_binop op a b] applies [op] with 32-bit wrap-around semantics.
+    Division or modulus by zero is reported by raising [Division_by_zero];
+    the interpreter converts it into a fault. *)
+let eval_binop op a b =
+  let a = mask32 a and b = mask32 b in
+  let r =
+    match op with
+    | Add -> a + b
+    | Sub -> a - b
+    | Mul -> a * b
+    | Div -> if b = 0 then raise Division_by_zero else a / b
+    | Mod -> if b = 0 then raise Division_by_zero else a mod b
+    | And -> a land b
+    | Or -> a lor b
+    | Xor -> a lxor b
+    | Shl -> a lsl (b land 31)
+    | Shr -> a lsr (b land 31)
+  in
+  mask32 r
+
+(** [eval_relop op a b] compares unsigned 32-bit values. *)
+let eval_relop op a b =
+  let a = mask32 a and b = mask32 b in
+  match op with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let string_of_binop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Mod -> "mod"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+
+let string_of_relop = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let pp_operand ppf = function
+  | Reg r -> Fmt.pf ppf "r%d" r
+  | Imm v -> Fmt.pf ppf "#%d" v
+  | Sym s -> Fmt.pf ppf "@%s" s
+
+let pp_instr ppf (ins : instr) =
+  let op = pp_operand in
+  match ins with
+  | Mov (d, a) -> Fmt.pf ppf "mov r%d, %a" d op a
+  | Bin (b, d, x, y) -> Fmt.pf ppf "%s r%d, %a, %a" (string_of_binop b) d op x op y
+  | Load8 (d, b, o) -> Fmt.pf ppf "ld8 r%d, [%a+%a]" d op b op o
+  | Store8 (b, o, v) -> Fmt.pf ppf "st8 [%a+%a], %a" op b op o op v
+  | LoadW (d, b, o) -> Fmt.pf ppf "ldw r%d, [%a+%a]" d op b op o
+  | StoreW (b, o, v) -> Fmt.pf ppf "stw [%a+%a], %a" op b op o op v
+  | Jmp t -> Fmt.pf ppf "jmp %d" t
+  | Jif (r, a, b, t) -> Fmt.pf ppf "j%s %a, %a, %d" (string_of_relop r) op a op b t
+  | Call (f, args, dst) ->
+      Fmt.pf ppf "call %s(%a)%s" f (Fmt.list ~sep:Fmt.comma op) args
+        (match dst with Some d -> Printf.sprintf " -> r%d" d | None -> "")
+  | Icall (f, args, dst) ->
+      Fmt.pf ppf "icall %a(%a)%s" op f (Fmt.list ~sep:Fmt.comma op) args
+        (match dst with Some d -> Printf.sprintf " -> r%d" d | None -> "")
+  | Ret v -> Fmt.pf ppf "ret %a" op v
+  | Sys (Open r) -> Fmt.pf ppf "sys.open -> r%d" r
+  | Sys (Read (d, fd, buf, len)) -> Fmt.pf ppf "sys.read r%d, %a, %a, %a" d op fd op buf op len
+  | Sys (Seek (fd, p)) -> Fmt.pf ppf "sys.seek %a, %a" op fd op p
+  | Sys (Tell (d, fd)) -> Fmt.pf ppf "sys.tell r%d, %a" d op fd
+  | Sys (Fsize (d, fd)) -> Fmt.pf ppf "sys.fsize r%d, %a" d op fd
+  | Sys (Mmap (d, fd)) -> Fmt.pf ppf "sys.mmap r%d, %a" d op fd
+  | Sys (Alloc (d, sz)) -> Fmt.pf ppf "sys.alloc r%d, %a" d op sz
+  | Sys (Exit c) -> Fmt.pf ppf "sys.exit %a" op c
+  | Sys (Emit v) -> Fmt.pf ppf "sys.emit %a" op v
+  | Halt -> Fmt.pf ppf "halt"

@@ -1,0 +1,105 @@
+(** Bounds-checked memory for MiniVM.
+
+    Memory is a set of disjoint regions (read-only data, heap allocations,
+    file mappings).  Any access outside a live region is a fault — the
+    mechanism by which the CWE-119/190 vulnerabilities of the target pairs
+    crash, mirroring the hardware traps of the paper's native binaries. *)
+
+type region_kind = Rodata | Heap | Mapped
+
+type region = {
+  base : int;
+  size : int;
+  kind : region_kind;
+  bytes : Bytes.t;
+}
+
+type fault =
+  | Oob_read of int          (** load outside any live region *)
+  | Oob_write of int         (** store outside any live region *)
+  | Write_to_rodata of int
+  | Null_deref of int        (** access below the data base (the null page) *)
+  | Div_by_zero
+  | Hang                     (** step budget exhausted: models CWE-835 *)
+  | Bad_icall of int         (** indirect call outside the function table *)
+
+exception Fault of fault
+
+let pp_fault ppf = function
+  | Oob_read a -> Fmt.pf ppf "out-of-bounds read at 0x%x" a
+  | Oob_write a -> Fmt.pf ppf "out-of-bounds write at 0x%x" a
+  | Write_to_rodata a -> Fmt.pf ppf "write to read-only data at 0x%x" a
+  | Null_deref a -> Fmt.pf ppf "null dereference at 0x%x" a
+  | Div_by_zero -> Fmt.pf ppf "division by zero"
+  | Hang -> Fmt.pf ppf "hang (step budget exhausted)"
+  | Bad_icall i -> Fmt.pf ppf "indirect call to invalid slot %d" i
+
+let fault_to_string f = Fmt.str "%a" pp_fault f
+
+type t = {
+  mutable regions : region list;
+  mutable brk : int;   (* bump pointer for heap allocations *)
+}
+
+(* Heap starts well above the data section so data growth never collides. *)
+let heap_base = 0x100000
+
+let create () = { regions = []; brk = heap_base }
+
+(** [load_rodata t data] installs the assembled program's data section. *)
+let load_rodata t (data : (string * int * string) list) =
+  List.iter
+    (fun (_sym, base, s) ->
+      if String.length s > 0 then
+        t.regions <-
+          { base; size = String.length s; kind = Rodata; bytes = Bytes.of_string s }
+          :: t.regions)
+    data
+
+(** [alloc t size] returns the base of a fresh zero-filled heap region.
+    Each allocation is padded apart from its neighbours so off-by-one writes
+    always fault instead of silently landing in the next allocation. *)
+let alloc t size =
+  let size = max size 0 in
+  let base = t.brk in
+  t.brk <- t.brk + size + 16;
+  t.regions <- { base; size; kind = Heap; bytes = Bytes.make (max size 1) '\000' } :: t.regions;
+  base
+
+(** [map_bytes t s] installs [s] as a fresh mapped region (used by mmap). *)
+let map_bytes t s =
+  let size = String.length s in
+  let base = t.brk in
+  t.brk <- t.brk + size + 16;
+  t.regions <- { base; size; kind = Mapped; bytes = Bytes.of_string (if size = 0 then "\000" else s) } :: t.regions;
+  base
+
+let find_region t addr =
+  List.find_opt (fun r -> addr >= r.base && addr < r.base + r.size) t.regions
+
+(** [read8 t addr] loads one byte, faulting on invalid addresses. *)
+let read8 t addr =
+  match find_region t addr with
+  | Some r -> Bytes.get_uint8 r.bytes (addr - r.base)
+  | None -> raise (Fault (if addr < Asm.data_base then Null_deref addr else Oob_read addr))
+
+(** [write8 t addr v] stores one byte, faulting on invalid or read-only
+    addresses. *)
+let write8 t addr v =
+  match find_region t addr with
+  | Some { kind = Rodata; _ } -> raise (Fault (Write_to_rodata addr))
+  | Some r -> Bytes.set_uint8 r.bytes (addr - r.base) (v land 0xff)
+  | None -> raise (Fault (if addr < Asm.data_base then Null_deref addr else Oob_write addr))
+
+let read_word t addr =
+  let b i = read8 t (addr + i) in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let write_word t addr v =
+  write8 t addr v;
+  write8 t (addr + 1) (v lsr 8);
+  write8 t (addr + 2) (v lsr 16);
+  write8 t (addr + 3) (v lsr 24)
+
+(** [region_of t addr] exposes region metadata (tests and taint reports). *)
+let region_of t addr = find_region t addr

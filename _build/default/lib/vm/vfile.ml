@@ -1,0 +1,54 @@
+(** The input-file abstraction of MiniVM.
+
+    Each run of a program is given exactly one input file: the PoC.  Programs
+    open it (fd), read sequentially, seek, or map it wholesale.  The file
+    position indicator exposed by [tell] is the anchor the combining phase P3
+    uses to place crash-primitive bunches (paper §III-C). *)
+
+type handle = {
+  fd : int;
+  mutable pos : int;
+}
+
+type t = {
+  data : string;
+  mutable handles : handle list;
+  mutable next_fd : int;
+}
+
+let create data = { data; handles = []; next_fd = 3 }
+
+let size t = String.length t.data
+
+let open_ t =
+  let fd = t.next_fd in
+  t.next_fd <- t.next_fd + 1;
+  t.handles <- { fd; pos = 0 } :: t.handles;
+  fd
+
+exception Bad_fd of int
+
+let handle t fd =
+  match List.find_opt (fun h -> h.fd = fd) t.handles with
+  | Some h -> h
+  | None -> raise (Bad_fd fd)
+
+(** [read t fd len] consumes up to [len] bytes from the current position and
+    returns [(file_offset, bytes)].  Short reads at EOF return fewer bytes;
+    reads at EOF return the empty string, which target programs use as their
+    end-of-input condition. *)
+let read t fd len =
+  let h = handle t fd in
+  (* A position seeked past EOF reads as empty, like pread(2). *)
+  let off = min h.pos (String.length t.data) in
+  let avail = String.length t.data - off in
+  let n = min (max len 0) avail in
+  let s = String.sub t.data off n in
+  h.pos <- h.pos + n;
+  (off, s)
+
+let seek t fd pos =
+  let h = handle t fd in
+  h.pos <- max 0 pos
+
+let tell t fd = (handle t fd).pos

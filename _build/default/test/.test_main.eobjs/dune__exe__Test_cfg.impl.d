@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Hashtbl List Octo_cfg Octo_vm

@@ -1,0 +1,1 @@
+test/test_clone.ml: Alcotest List Octo_clone Octo_targets Octo_vm Printf

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Gen Interp List Octo_cfg Octo_formats Octo_solver Octo_symex Octo_targets Octo_vm Octopocs Printf QCheck QCheck_alcotest

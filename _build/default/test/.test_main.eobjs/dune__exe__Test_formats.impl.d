@@ -1,0 +1,1 @@
+test/test_formats.ml: Alcotest Char List Octo_formats Octo_targets Octo_util Octo_vm Pairs_avi Pairs_gif Pairs_mjpg Pairs_mpdf Pairs_tif String

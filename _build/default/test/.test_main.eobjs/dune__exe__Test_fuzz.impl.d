@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Char Gen List Octo_fuzz Octo_targets Octo_util Octo_vm QCheck QCheck_alcotest Seq String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_cfg Test_clone Test_extensions Test_formats Test_fuzz Test_pipeline Test_solver Test_symex Test_taint Test_targets Test_util Test_vm

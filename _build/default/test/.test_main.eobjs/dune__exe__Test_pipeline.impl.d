@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Interp List Mem Octo_taint Octo_targets Octo_vm Octopocs Printf String

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Fmt Gen List Octo_solver Octo_vm QCheck QCheck_alcotest

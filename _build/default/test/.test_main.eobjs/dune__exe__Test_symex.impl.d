@@ -1,0 +1,1 @@
+test/test_symex.ml: Alcotest Array Char List Octo_cfg Octo_solver Octo_symex Octo_targets Octo_vm String

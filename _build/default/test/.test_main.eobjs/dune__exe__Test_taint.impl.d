@@ -1,0 +1,1 @@
+test/test_taint.ml: Alcotest List Octo_taint Octo_targets Octo_vm

@@ -1,0 +1,1 @@
+test/test_targets.ml: Alcotest Char Interp List Mem Octo_targets Octo_util Octo_vm Printf String

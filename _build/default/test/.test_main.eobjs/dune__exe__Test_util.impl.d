@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes_util Gen List Octo_util QCheck QCheck_alcotest Rng String

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Asm Char Hashtbl Interp List Mem Octo_vm QCheck QCheck_alcotest Vfile

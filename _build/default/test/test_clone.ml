@@ -1,0 +1,121 @@
+(* Tests for VUDDY-style clone detection. *)
+
+open Octo_vm.Isa
+open Octo_vm.Asm
+module Clone = Octo_clone.Clone
+module Registry = Octo_targets.Registry
+module Shared = Octo_targets.Shared
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let body_a = [ I (Mov (1, Imm 1)); I (Bin (Add, 1, Reg 1, Imm 2)); I (Ret (Reg 1)) ]
+let body_b = [ I (Mov (1, Imm 1)); I (Bin (Add, 1, Reg 1, Imm 3)); I (Ret (Reg 1)) ]
+
+let p1 =
+  assemble ~name:"p1" ~entry:"main"
+    [ fn "main" ~params:0 [ I Halt ]; fn "helper" ~params:0 body_a ]
+
+let p2 =
+  assemble ~name:"p2" ~entry:"main"
+    [ fn "main" ~params:0 [ I (Sys (Exit (Imm 0))) ]; fn "helper" ~params:0 body_a ]
+
+let p3 =
+  assemble ~name:"p3" ~entry:"main"
+    [ fn "main" ~params:0 [ I Halt ]; fn "helper" ~params:0 body_b ]
+
+let p_renamed =
+  assemble ~name:"p4" ~entry:"main"
+    [ fn "main" ~params:0 [ I Halt ]; fn "assist" ~params:0 body_a ]
+
+let fingerprint_equal_for_identical () =
+  let fa = Clone.fingerprint (func_exn p1 "helper") in
+  let fb = Clone.fingerprint (func_exn p2 "helper") in
+  check Alcotest.string "identical bodies" fa fb
+
+let fingerprint_differs_for_changed () =
+  let fa = Clone.fingerprint (func_exn p1 "helper") in
+  let fb = Clone.fingerprint (func_exn p3 "helper") in
+  check Alcotest.bool "immediate change detected" true (fa <> fb)
+
+let fingerprint_sensitive_to_params () =
+  let f = func_exn p1 "helper" in
+  let g = { f with nparams = 2 } in
+  check Alcotest.bool "arity matters" true (Clone.fingerprint f <> Clone.fingerprint g)
+
+let shared_same_name () =
+  let pairs = Clone.shared_functions p1 p2 in
+  check Alcotest.bool "helper found" true
+    (List.exists (fun (p : Clone.clone_pair) -> p.t_func = "helper" && not p.renamed) pairs)
+
+let shared_excludes_changed () =
+  let pairs = Clone.shared_functions p1 p3 in
+  check Alcotest.bool "changed helper not a clone" false
+    (List.exists (fun (p : Clone.clone_pair) -> p.s_func = "helper") pairs)
+
+let shared_detects_renamed () =
+  let pairs = Clone.shared_functions p1 p_renamed in
+  match List.find_opt (fun (p : Clone.clone_pair) -> p.s_func = "helper") pairs with
+  | Some p ->
+      check Alcotest.string "renamed target" "assist" p.t_func;
+      check Alcotest.bool "flagged" true p.renamed
+  | None -> Alcotest.fail "renamed clone missed"
+
+let abstract_calls_level () =
+  (* Same shape, different callee name: only the abstract level matches. *)
+  let mk callee =
+    assemble ~name:"w" ~entry:"main"
+      [
+        fn "main" ~params:0 [ I (Call (callee, [], None)); I Halt ];
+        fn "x" ~params:0 [ I (Ret (Imm 0)) ];
+        fn "y" ~params:0 [ I (Ret (Imm 0)) ];
+      ]
+  in
+  let a = func_exn (mk "x") "main" and b = func_exn (mk "y") "main" in
+  check Alcotest.bool "exact differs" true (Clone.fingerprint a <> Clone.fingerprint b);
+  check Alcotest.string "abstract matches"
+    (Clone.fingerprint ~level:Clone.Abstract_calls a)
+    (Clone.fingerprint ~level:Clone.Abstract_calls b)
+
+let vulnerable_clone_present () =
+  let c = Registry.find 1 in
+  check Alcotest.bool "present" true
+    (Clone.is_vulnerable_clone_present c.s c.t ~vuln_func:c.vuln_func);
+  check Alcotest.bool "absent for unknown" false
+    (Clone.is_vulnerable_clone_present c.s c.t ~vuln_func:"does_not_exist")
+
+let all_pairs_share_vuln_func () =
+  List.iter
+    (fun (c : Registry.case) ->
+      let ell = Clone.ell_names (Clone.shared_functions c.s c.t) in
+      check Alcotest.bool
+        (Printf.sprintf "pair %d shares %s" c.idx c.vuln_func)
+        true (List.mem c.vuln_func ell))
+    Registry.all
+
+let shared_decoders_distinct () =
+  (* The shared decoder family must not collide pairwise, or clone
+     detection would conflate different vulnerabilities. *)
+  let fps =
+    List.map
+      (fun (f : src_func) ->
+        let p = assemble ~name:"tmp" ~entry:f.name [ f ] in
+        Clone.fingerprint (func_exn p f.name))
+      Shared.all
+  in
+  check Alcotest.int "all distinct" (List.length fps)
+    (List.length (List.sort_uniq compare fps))
+
+let suite =
+  [
+    tc "fingerprint: identical bodies match" fingerprint_equal_for_identical;
+    tc "fingerprint: changed immediate differs" fingerprint_differs_for_changed;
+    tc "fingerprint: arity sensitive" fingerprint_sensitive_to_params;
+    tc "shared: same-name clone" shared_same_name;
+    tc "shared: changed body excluded" shared_excludes_changed;
+    tc "shared: renamed clone detected" shared_detects_renamed;
+    tc "abstract-calls level" abstract_calls_level;
+    tc "vulnerable clone query" vulnerable_clone_present;
+    tc "all 15 pairs share the vulnerable function" all_pairs_share_vuln_func;
+    tc "shared decoders pairwise distinct" shared_decoders_distinct;
+  ]

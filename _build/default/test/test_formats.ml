@@ -1,0 +1,120 @@
+(* Byte-level layout tests for the synthetic file formats. *)
+
+module F = Octo_formats.Formats
+module B = Octo_util.Bytes_util
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let bytes_of = B.to_int_list
+
+let mjpg_segment () =
+  check (Alcotest.list Alcotest.int) "marker,len,payload" [ 0xDA; 2; 0x41; 0x42 ]
+    (bytes_of (F.Mjpg.segment ~marker:F.Mjpg.m_scan "AB"))
+
+let mjpg_file () =
+  let f = F.Mjpg.file [ F.Mjpg.segment ~marker:F.Mjpg.m_app "x" ] in
+  check Alcotest.string "magic prefix" "MJ" (String.sub f 0 2);
+  check Alcotest.int "end marker" F.Mjpg.m_end (Char.code f.[String.length f - 2])
+
+let mjpg_frame_header () =
+  check (Alcotest.list Alcotest.int) "w/h little endian"
+    [ 0xC0; 4; 0x34; 0x12; 0x78; 0x56 ]
+    (bytes_of (F.Mjpg.frame_header ~w:0x1234 ~h:0x5678))
+
+let mpdf_obj () =
+  check (Alcotest.list Alcotest.int) "type,len,payload"
+    [ Char.code 'F'; 1; 0x41 ]
+    (bytes_of (F.Mpdf.obj ~typ:F.Mpdf.o_font "A"))
+
+let mpdf_file () =
+  let f = F.Mpdf.file [] in
+  check Alcotest.string "magic" "%MPD" (String.sub f 0 4);
+  check Alcotest.int "terminated by E" (Char.code 'E') (Char.code f.[4])
+
+let mj2k_tile_part () =
+  check (Alcotest.list Alcotest.int) "tile header with SOT markers"
+    [ 0x54; 0x93; 0x5A; 2; 1; 2 ]
+    (bytes_of (F.Mj2k.tile_part (B.of_int_list [ 1; 2 ])))
+
+let mj2k_raw_vs_embedded_magic () =
+  let raw = F.Mj2k.raw_file [] and emb = F.Mj2k.file [] in
+  check Alcotest.string "raw magic" "OJ2K" (String.sub raw 0 4);
+  check Alcotest.string "embedded magic" "J2" (String.sub emb 0 2);
+  check Alcotest.bool "raw is not a suffix-trim of embedded" true
+    (String.length raw <> String.length emb || raw <> emb)
+
+let mgif_image_block () =
+  check (Alcotest.list Alcotest.int) "descriptor flags then len"
+    [ F.Mgif.b_image; F.Mgif.image_flag; F.Mgif.image_flag2; 1; 0x11 ]
+    (bytes_of (F.Mgif.image_block (B.of_int_list [ 0x11 ])))
+
+let mgif_file_version () =
+  let f = F.Mgif.file ~version:"87a" [] in
+  check Alcotest.string "magic+version" "MG87a" (String.sub f 0 5);
+  check Alcotest.int "trailer" F.Mgif.b_trailer (Char.code f.[5])
+
+let mtif_layout () =
+  let f = F.Mtif.file [ F.Mtif.entry ~tag:0x3d ~value:0x41 ] in
+  check (Alcotest.list Alcotest.int) "II,count,tag,value"
+    [ Char.code 'I'; Char.code 'I'; 1; 0x3d; 0x41 ]
+    (bytes_of f)
+
+let mavi_layout () =
+  let f = F.Mavi.file [ F.Mavi.frame "ab" ] in
+  check (Alcotest.list Alcotest.int) "AV,frame,end"
+    [ Char.code 'A'; Char.code 'V'; 0x46; 2; 97; 98; 0 ]
+    (bytes_of f)
+
+let mbmp_layout () =
+  let f = F.Mbmp.file ~w:2 ~h:3 "abcdef" in
+  check Alcotest.string "magic" "BM" (String.sub f 0 2);
+  check Alcotest.int "w" 2 (Char.code f.[2]);
+  check Alcotest.int "h" 3 (Char.code f.[3])
+
+let valid_samples_accepted () =
+  (* Every format's valid sample must be accepted (exit 0) by a program of
+     that format family. *)
+  let open Octo_targets in
+  let cases =
+    [
+      (Pairs_mjpg.jpegc, F.Mjpg.valid_sample ());
+      (Pairs_mpdf.pdfalto, F.Mpdf.file [ F.Mpdf.obj ~typ:F.Mpdf.o_font "abc" ]);
+      (Pairs_gif.gif2png, F.Mgif.valid_sample ());
+      (Pairs_avi.avconv, F.Mavi.valid_sample ());
+      (Pairs_tif.tiffsplit, F.Mtif.valid_sample ());
+      (Pairs_tif.libsdl2_img, F.Mbmp.valid_sample ());
+    ]
+  in
+  List.iter
+    (fun (p, input) ->
+      match (Octo_vm.Interp.run p ~input).outcome with
+      | Octo_vm.Interp.Exited 0 -> ()
+      | o ->
+          Alcotest.failf "%s rejected its valid sample: %a" p.Octo_vm.Isa.pname
+            Octo_vm.Interp.pp_outcome o)
+    cases
+
+let len_byte_masks () =
+  (* Payloads longer than 255 have their length byte truncated, not an
+     exception. *)
+  let seg = F.Mjpg.segment ~marker:0xE0 (B.repeat 300 0x00) in
+  check Alcotest.int "masked length" (300 land 0xff) (Char.code seg.[1])
+
+let suite =
+  [
+    tc "mjpg: segment layout" mjpg_segment;
+    tc "mjpg: file framing" mjpg_file;
+    tc "mjpg: frame header dims" mjpg_frame_header;
+    tc "mpdf: object layout" mpdf_obj;
+    tc "mpdf: file framing" mpdf_file;
+    tc "mj2k: tile-part SOT markers" mj2k_tile_part;
+    tc "mj2k: raw vs embedded magic" mj2k_raw_vs_embedded_magic;
+    tc "mgif: image descriptor layout" mgif_image_block;
+    tc "mgif: version framing" mgif_file_version;
+    tc "mtif: directory layout" mtif_layout;
+    tc "mavi: frame layout" mavi_layout;
+    tc "mbmp: header layout" mbmp_layout;
+    tc "valid samples accepted by parsers" valid_samples_accepted;
+    tc "length bytes masked" len_byte_masks;
+  ]

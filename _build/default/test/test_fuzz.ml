@@ -1,0 +1,196 @@
+(* Tests for the fuzzing baselines: coverage map, mutators, AFLFast and
+   AFLGo campaign behaviour. *)
+
+open Octo_vm.Isa
+open Octo_vm.Asm
+module Coverage = Octo_fuzz.Coverage
+module Mutate = Octo_fuzz.Mutate
+module Aflfast = Octo_fuzz.Aflfast
+module Aflgo = Octo_fuzz.Aflgo
+module Rng = Octo_util.Rng
+module Registry = Octo_targets.Registry
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* A tiny crashing target: input byte 0 = 0xCC crashes inside "boom". *)
+let toy =
+  assemble ~name:"toy" ~entry:"main"
+    [
+      fn "main" ~params:0
+        [
+          I (Sys (Open 1));
+          I (Sys (Alloc (2, Imm 4)));
+          I (Sys (Read (3, Reg 1, Reg 2, Imm 1)));
+          I (Load8 (4, Reg 2, Imm 0));
+          I (Jif (Eq, Reg 4, Imm 0xCC, "boom"));
+          I (Sys (Exit (Imm 0)));
+          L "boom";
+          I (Call ("boom", [], None));
+          I Halt;
+        ];
+      fn "boom" ~params:0 [ I (Store8 (Imm 4, Imm 0, Imm 1)) ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Coverage *)
+
+let coverage_detects_new_paths () =
+  let cov = Coverage.create () in
+  let a = Coverage.run cov toy ~input:"\x00" in
+  check Alcotest.bool "first run is new" true (a.new_buckets > 0);
+  let b = Coverage.run cov toy ~input:"\x01" in
+  check Alcotest.int "same path adds nothing" 0 b.new_buckets;
+  let c = Coverage.run cov toy ~input:"\xCC" in
+  check Alcotest.bool "crash path is new" true (c.new_buckets > 0)
+
+let coverage_path_hash_distinguishes () =
+  let cov = Coverage.create () in
+  let a = Coverage.run cov toy ~input:"\x00" in
+  let b = Coverage.run cov toy ~input:"\xCC" in
+  check Alcotest.bool "different paths, different hashes" true (a.path_hash <> b.path_hash);
+  let c = Coverage.run cov toy ~input:"\x01" in
+  check Alcotest.int "same path, same hash" a.path_hash c.path_hash
+
+let coverage_counts () =
+  let cov = Coverage.create () in
+  ignore (Coverage.run cov toy ~input:"\x00");
+  check Alcotest.bool "covered positive" true (Coverage.covered cov > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Mutators *)
+
+let havoc_nonempty_output () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 200 do
+    let m = Mutate.havoc rng "seed-input" in
+    check Alcotest.bool "bounded growth" true (String.length m <= String.length "seed-input" + 6 * 33)
+  done
+
+let havoc_empty_input_ok () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 50 do
+    ignore (Mutate.havoc rng "")
+  done
+
+let splice_mixes () =
+  let rng = Rng.create 3 in
+  let m = Mutate.splice rng "AAAA" "BBBB" in
+  check Alcotest.bool "produces something" true (String.length m >= 0)
+
+let deterministic_covers_interesting () =
+  let muts = List.of_seq (Mutate.deterministic "\x00") in
+  check Alcotest.bool "contains 0xFF variant" true (List.mem "\xFF" muts);
+  check Alcotest.bool "contains 17 variant" true (List.mem "\x11" muts)
+
+let deterministic_count_linear () =
+  let n1 = Seq.length (Mutate.deterministic "a") in
+  let n3 = Seq.length (Mutate.deterministic "abc") in
+  check Alcotest.int "per-byte count" (3 * n1) n3
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns *)
+
+let aflfast_finds_toy_crash () =
+  let r =
+    Aflfast.run
+      ~config:{ Aflfast.default_config with max_execs = 30_000 }
+      toy ~seeds:[ "\x00" ] ~crash_in:[ "boom" ]
+  in
+  (match r.crash_input with
+  | Some input -> check Alcotest.int "trigger byte" 0xCC (Char.code input.[0])
+  | None -> Alcotest.fail "AFLFast should find a one-byte crash");
+  check Alcotest.bool "coverage grew" true (r.coverage > 0)
+
+let aflfast_budget_respected () =
+  let r =
+    Aflfast.run
+      ~config:{ Aflfast.default_config with max_execs = 500; deterministic_limit = 0 }
+      toy ~seeds:[ "\x00" ] ~crash_in:[ "no_such_func" ]
+  in
+  check Alcotest.bool "stopped at budget" true (r.execs <= 501)
+
+let aflfast_deterministic_rng () =
+  let run () =
+    Aflfast.run
+      ~config:{ Aflfast.default_config with max_execs = 2_000 }
+      toy ~seeds:[ "\x00" ] ~crash_in:[ "boom" ]
+  in
+  let a = run () and b = run () in
+  check Alcotest.int "same exec count" a.execs b.execs;
+  check (Alcotest.option Alcotest.string) "same crash input" a.crash_input b.crash_input
+
+let aflgo_finds_toy_crash () =
+  let r =
+    Aflgo.run
+      ~config:{ Aflgo.default_config with max_execs = 30_000 }
+      toy ~target:"boom" ~seeds:[ "\x00" ] ~crash_in:[ "boom" ]
+  in
+  match r.crash_input with
+  | Some _ -> ()
+  | None -> Alcotest.fail "AFLGo should find a one-byte crash"
+
+let aflgo_errors_on_icall () =
+  let c = Registry.find 8 in
+  (* mupdf contains an indirect call: the instrumentation pass bails. *)
+  match
+    Aflgo.run c.t ~target:c.vuln_func ~seeds:[ "" ] ~crash_in:[ c.vuln_func ]
+  with
+  | exception Aflgo.Aflgo_error _ -> ()
+  | _ -> Alcotest.fail "expected Aflgo_error on mupdf"
+
+let aflgo_tracks_distance () =
+  let r =
+    Aflgo.run
+      ~config:{ Aflgo.default_config with max_execs = 2_000 }
+      toy ~target:"boom" ~seeds:[ "\x00" ] ~crash_in:[ "boom" ]
+  in
+  check Alcotest.bool "finite best distance" true (r.best_distance < infinity)
+
+let fuzzers_verify_vs_unrelated_crash () =
+  (* crash_in filters: a crash outside the requested functions is not a
+     verification. *)
+  let r =
+    Aflfast.run
+      ~config:{ Aflfast.default_config with max_execs = 5_000 }
+      toy ~seeds:[ "\x00" ] ~crash_in:[ "unrelated" ]
+  in
+  check (Alcotest.option Alcotest.string) "not counted" None r.crash_input
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"havoc output length bounded" ~count:200
+      QCheck.(pair small_int (string_of_size Gen.(0 -- 40)))
+      (fun (seed, s) ->
+        let rng = Rng.create seed in
+        let m = Mutate.havoc rng s in
+        String.length m <= String.length s + 6 * 33);
+    QCheck.Test.make ~name:"deterministic variants differ from base in one byte" ~count:50
+      QCheck.(string_of_size Gen.(1 -- 10))
+      (fun s ->
+        Seq.for_all
+          (fun m ->
+            String.length m = String.length s
+            && List.length (Octo_util.Bytes_util.diff_offsets s m) <= 1)
+          (Mutate.deterministic s));
+  ]
+
+let suite =
+  [
+    tc "coverage: new path detection" coverage_detects_new_paths;
+    tc "coverage: path hashes" coverage_path_hash_distinguishes;
+    tc "coverage: covered count" coverage_counts;
+    tc "mutate: havoc growth bounded" havoc_nonempty_output;
+    tc "mutate: havoc on empty input" havoc_empty_input_ok;
+    tc "mutate: splice" splice_mixes;
+    tc "mutate: deterministic covers interesting values" deterministic_covers_interesting;
+    tc "mutate: deterministic linear in length" deterministic_count_linear;
+    tc "aflfast: finds shallow crash" aflfast_finds_toy_crash;
+    tc "aflfast: budget respected" aflfast_budget_respected;
+    tc "aflfast: deterministic campaigns" aflfast_deterministic_rng;
+    tc "aflgo: finds shallow crash" aflgo_finds_toy_crash;
+    tc "aflgo: errors on indirect calls" aflgo_errors_on_icall;
+    tc "aflgo: tracks distance" aflgo_tracks_distance;
+    tc "crash_in filters unrelated crashes" fuzzers_verify_vs_unrelated_crash;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -1,0 +1,18 @@
+(* Test runner: aggregates the per-module suites. *)
+
+let () =
+  Alcotest.run "octopocs"
+    [
+      ("util", Test_util.suite);
+      ("vm", Test_vm.suite);
+      ("solver", Test_solver.suite);
+      ("cfg", Test_cfg.suite);
+      ("clone", Test_clone.suite);
+      ("taint", Test_taint.suite);
+      ("symex", Test_symex.suite);
+      ("formats", Test_formats.suite);
+      ("targets", Test_targets.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("extensions", Test_extensions.suite);
+    ]

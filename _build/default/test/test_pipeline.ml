@@ -1,0 +1,176 @@
+(* End-to-end tests for the OCTOPOCS pipeline: Table II verdicts, poc'
+   properties, the Table III ablation, and report plumbing. *)
+
+open Octo_vm
+module Registry = Octo_targets.Registry
+module Taint = Octo_taint.Taint
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let run_case (c : Registry.case) = Octopocs.run ~s:c.s ~t:c.t ~poc:c.poc ()
+
+let all_verdicts_match_table2 () =
+  List.iter
+    (fun (c : Registry.case) ->
+      let r = run_case c in
+      check Alcotest.string
+        (Printf.sprintf "pair %d" c.idx)
+        (Registry.expected_to_string c.expected)
+        (Octopocs.verdict_class r.verdict))
+    Registry.all
+
+let poc'_crashes_t_in_ell () =
+  List.iter
+    (fun (c : Registry.case) ->
+      let r = run_case c in
+      match r.verdict with
+      | Octopocs.Triggered { poc'; _ } ->
+          let t_run = Interp.run c.t ~input:poc' in
+          check Alcotest.bool
+            (Printf.sprintf "pair %d poc' reproduces" c.idx)
+            true
+            (Interp.crash_in t_run ~funcs:r.ell)
+      | _ -> ())
+    Registry.all
+
+let poc'_often_smaller_than_poc () =
+  (* The paper notes Type-I poc' files are often more optimized than poc;
+     at minimum they never blow up. *)
+  List.iter
+    (fun (c : Registry.case) ->
+      let r = run_case c in
+      match r.verdict with
+      | Octopocs.Triggered { poc'; _ } ->
+          check Alcotest.bool
+            (Printf.sprintf "pair %d poc' bounded" c.idx)
+            true
+            (String.length poc' <= String.length c.poc + 160)
+      | _ -> ())
+    Registry.all
+
+let type1_poc_equivalence () =
+  (* For Type-I pairs the original poc itself crashes T; for Type-II it
+     must not (that is what distinguishes the classes). *)
+  List.iter
+    (fun (c : Registry.case) ->
+      let r = run_case c in
+      match r.verdict with
+      | Octopocs.Triggered { ptype; _ } ->
+          let orig_crashes = Interp.crash_in (Interp.run c.t ~input:c.poc) ~funcs:r.ell in
+          let expected = ptype = Octopocs.Type_I in
+          check Alcotest.bool (Printf.sprintf "pair %d classification" c.idx) expected
+            orig_crashes
+      | _ -> ())
+    Registry.all
+
+let ep_is_vulnerable_function () =
+  List.iter
+    (fun (c : Registry.case) ->
+      let r = run_case c in
+      if r.ep <> "" then
+        check Alcotest.string (Printf.sprintf "pair %d ep" c.idx) c.vuln_func r.ep)
+    Registry.all
+
+let reasons_match_mechanisms () =
+  let reason idx =
+    match (run_case (Registry.find idx)).verdict with
+    | Octopocs.Not_triggerable r -> r
+    | v -> Alcotest.failf "pair %d: expected Not_triggerable, got %s" idx
+             (Octopocs.verdict_class v)
+  in
+  (match reason 10 with
+  | Octopocs.Constraint_conflict 1 -> ()
+  | _ -> Alcotest.fail "pair 10 should conflict on the hardcoded tag");
+  (match reason 11 with
+  | Octopocs.Ep_not_called -> ()
+  | _ -> Alcotest.fail "pair 11 should report dead code");
+  (match reason 12 with
+  | Octopocs.Program_dead -> ()
+  | _ -> Alcotest.fail "pair 12 should be program-dead");
+  match reason 14 with
+  | Octopocs.Constraint_conflict _ -> ()
+  | _ -> Alcotest.fail "pair 14 should conflict on the patched guard"
+
+let failure_is_cfg_error () =
+  match (run_case (Registry.find 15)).verdict with
+  | Octopocs.Failure msg ->
+      check Alcotest.bool "mentions CFG" true
+        (String.length msg >= 3 && String.sub msg 0 3 = "CFG")
+  | v -> Alcotest.failf "expected Failure, got %s" (Octopocs.verdict_class v)
+
+let plain_taint_table3 () =
+  let plain_config = { Octopocs.default_config with taint_mode = Taint.Plain } in
+  List.iter
+    (fun (c : Registry.case) ->
+      let r = Octopocs.run ~config:plain_config ~s:c.s ~t:c.t ~poc:c.poc () in
+      let triggered = match r.verdict with Octopocs.Triggered _ -> true | _ -> false in
+      let expected = not (List.mem c.idx [ 3; 4; 9 ]) in
+      check Alcotest.bool
+        (Printf.sprintf "pair %d plain-taint outcome" c.idx)
+        expected triggered)
+    Registry.table3_cases
+
+let explicit_ell_override () =
+  let c = Registry.find 1 in
+  let r = Octopocs.run ~ell:[ c.vuln_func ] ~s:c.s ~t:c.t ~poc:c.poc () in
+  check Alcotest.string "verdict with explicit ℓ" "Type-I" (Octopocs.verdict_class r.verdict)
+
+let empty_ell_fails_cleanly () =
+  let c = Registry.find 1 in
+  match (Octopocs.run ~ell:[] ~s:c.s ~t:c.t ~poc:c.poc ()).verdict with
+  | Octopocs.Failure _ -> ()
+  | v -> Alcotest.failf "expected Failure, got %s" (Octopocs.verdict_class v)
+
+let non_crashing_poc_fails_cleanly () =
+  let c = Registry.find 1 in
+  match (Octopocs.run ~s:c.s ~t:c.t ~poc:"MJ" ()).verdict with
+  | Octopocs.Failure msg -> check Alcotest.string "message" "poc does not crash S" msg
+  | v -> Alcotest.failf "expected Failure, got %s" (Octopocs.verdict_class v)
+
+let report_carries_artifacts () =
+  let c = Registry.find 4 in
+  let r = run_case c in
+  check Alcotest.bool "taint result present" true (r.taint <> None);
+  check Alcotest.bool "symex stats present" true (r.symex <> None);
+  check Alcotest.int "two bunches for two frames" 2 (List.length r.bunches);
+  check Alcotest.bool "elapsed recorded" true (r.elapsed_s >= 0.0)
+
+let deterministic_verdicts () =
+  let c = Registry.find 9 in
+  let a = run_case c and b = run_case c in
+  (match (a.verdict, b.verdict) with
+  | Octopocs.Triggered x, Octopocs.Triggered y ->
+      check Alcotest.string "same poc'" x.poc' y.poc'
+  | _ -> Alcotest.fail "expected both triggered");
+  check Alcotest.string "same class" (Octopocs.verdict_class a.verdict)
+    (Octopocs.verdict_class b.verdict)
+
+let identify_ep_scans_outermost_first () =
+  let crash =
+    { Interp.fault = Mem.Hang; crash_func = "inner"; crash_pc = 0;
+      backtrace = [ "main"; "outer_shared"; "inner" ] }
+  in
+  check (Alcotest.option Alcotest.string) "first shared function wins"
+    (Some "outer_shared")
+    (Octopocs.identify_ep ~ell:[ "outer_shared"; "inner" ] crash);
+  check (Alcotest.option Alcotest.string) "none in ell" None
+    (Octopocs.identify_ep ~ell:[ "zzz" ] crash)
+
+let suite =
+  [
+    tc "all 15 verdicts match Table II" all_verdicts_match_table2;
+    tc "poc' reproduces the crash inside ℓ" poc'_crashes_t_in_ell;
+    tc "poc' size bounded" poc'_often_smaller_than_poc;
+    tc "Type-I/II split matches original-poc behaviour" type1_poc_equivalence;
+    tc "ep is the vulnerable function" ep_is_vulnerable_function;
+    tc "Type-III reasons match mechanisms" reasons_match_mechanisms;
+    tc "pair 15 fails with a CFG error" failure_is_cfg_error;
+    tc "plain taint reproduces Table III" plain_taint_table3;
+    tc "explicit ℓ override" explicit_ell_override;
+    tc "empty ℓ fails cleanly" empty_ell_fails_cleanly;
+    tc "non-crashing poc fails cleanly" non_crashing_poc_fails_cleanly;
+    tc "report carries artifacts" report_carries_artifacts;
+    tc "verdicts deterministic" deterministic_verdicts;
+    tc "ep identification scans outermost first" identify_ep_scans_outermost_first;
+  ]

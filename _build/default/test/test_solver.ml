@@ -1,0 +1,278 @@
+(* Unit and property tests for the constraint solver: expression algebra,
+   interval propagation, and model search. *)
+
+open Octo_vm.Isa
+module Expr = Octo_solver.Expr
+module Solve = Octo_solver.Solve
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let env_of l i = match List.assoc_opt i l with Some v -> v | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let expr_const_fold () =
+  match Expr.bin Add (Expr.const 2) (Expr.const 3) with
+  | Expr.Const 5 -> ()
+  | e -> Alcotest.failf "not folded: %a" Expr.pp e
+
+let expr_identity_fold () =
+  (match Expr.bin Add (Expr.byte 0) (Expr.const 0) with
+  | Expr.Byte 0 -> ()
+  | e -> Alcotest.failf "x+0 not folded: %a" Expr.pp e);
+  match Expr.bin Mul (Expr.byte 1) (Expr.const 1) with
+  | Expr.Byte 1 -> ()
+  | e -> Alcotest.failf "x*1 not folded: %a" Expr.pp e
+
+let expr_eval () =
+  let e = Expr.bin Or (Expr.byte 0) (Expr.bin Shl (Expr.byte 1) (Expr.const 8)) in
+  check Alcotest.int "le16 combine" 0x1234 (Expr.eval (env_of [ (0, 0x34); (1, 0x12) ]) e)
+
+let expr_vars () =
+  let e = Expr.bin Add (Expr.byte 3) (Expr.bin Mul (Expr.byte 1) (Expr.byte 3)) in
+  check Alcotest.(list int) "vars sorted dedup" [ 1; 3 ] (Expr.vars e)
+
+let expr_negate_involution () =
+  let c = { Expr.rel = Lt; lhs = Expr.byte 0; rhs = Expr.const 5 } in
+  check Alcotest.bool "double negation" true (Expr.negate (Expr.negate c) = c)
+
+let expr_div_zero () =
+  Alcotest.check_raises "symbolic div0" Expr.Symbolic_division_by_zero (fun () ->
+      ignore (Expr.eval (env_of []) (Expr.Bin (Div, Expr.Const 1, Expr.Const 0))))
+
+(* ------------------------------------------------------------------ *)
+(* Store and propagation *)
+
+let add c s = Solve.add s c
+
+let store_eq_pins_domain () =
+  let s = Solve.create () in
+  (match add { Expr.rel = Eq; lhs = Expr.byte 0; rhs = Expr.const 65 } s with
+  | Solve.Ok -> ()
+  | Solve.Unsat -> Alcotest.fail "should be sat");
+  check (Alcotest.pair Alcotest.int Alcotest.int) "pinned" (65, 65) (Solve.dom s 0)
+
+let store_contradiction_detected () =
+  let s = Solve.create () in
+  ignore (add { Expr.rel = Eq; lhs = Expr.byte 0; rhs = Expr.const 1 } s);
+  match add { Expr.rel = Eq; lhs = Expr.byte 0; rhs = Expr.const 2 } s with
+  | Solve.Unsat -> ()
+  | Solve.Ok -> Alcotest.fail "contradiction not caught by propagation"
+
+let store_lt_narrows () =
+  let s = Solve.create () in
+  ignore (add { Expr.rel = Lt; lhs = Expr.byte 0; rhs = Expr.const 10 } s);
+  let _, hi = Solve.dom s 0 in
+  check Alcotest.int "upper bound" 9 hi
+
+let store_add_shape_narrows () =
+  let s = Solve.create () in
+  ignore
+    (add { Expr.rel = Eq; lhs = Expr.bin Add (Expr.byte 0) (Expr.const 5) ; rhs = Expr.const 70 } s);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "inverted" (65, 65) (Solve.dom s 0)
+
+let store_entails () =
+  let s = Solve.create () in
+  ignore (add { Expr.rel = Eq; lhs = Expr.byte 0; rhs = Expr.const 7 } s);
+  check Alcotest.bool "implied true" true
+    (Solve.entails s { Expr.rel = Lt; lhs = Expr.byte 0; rhs = Expr.const 8 } = Solve.True);
+  check Alcotest.bool "implied false" true
+    (Solve.entails s { Expr.rel = Gt; lhs = Expr.byte 0; rhs = Expr.const 8 } = Solve.False);
+  check Alcotest.bool "unknown var maybe" true
+    (Solve.entails s { Expr.rel = Eq; lhs = Expr.byte 1; rhs = Expr.const 1 } = Solve.Maybe)
+
+let store_copy_isolated () =
+  let s = Solve.create () in
+  ignore (add { Expr.rel = Eq; lhs = Expr.byte 0; rhs = Expr.const 3 } s);
+  let s' = Solve.copy s in
+  ignore (add { Expr.rel = Eq; lhs = Expr.byte 1; rhs = Expr.const 4 } s');
+  check (Alcotest.pair Alcotest.int Alcotest.int) "original untouched" (0, 255) (Solve.dom s 1)
+
+(* ------------------------------------------------------------------ *)
+(* Solving *)
+
+let model_satisfies s m = List.for_all (Expr.eval_cond (Solve.model_byte m)) (Solve.constraints s)
+
+let solve_simple () =
+  let s = Solve.create () in
+  ignore (add { Expr.rel = Eq; lhs = Expr.byte 0; rhs = Expr.const 0x41 } s);
+  ignore (add { Expr.rel = Gt; lhs = Expr.byte 1; rhs = Expr.const 16 } s);
+  match Solve.solve s with
+  | Solve.Sat m ->
+      check Alcotest.int "byte0" 0x41 (Solve.model_byte m 0);
+      check Alcotest.bool "byte1 > 16" true (Solve.model_byte m 1 > 16);
+      check Alcotest.bool "model verifies" true (model_satisfies s m)
+  | _ -> Alcotest.fail "expected sat"
+
+let solve_le16_word () =
+  (* w = b0 | (b1 << 8) must equal 0x8000: search must find b1 = 0x80. *)
+  let s = Solve.create () in
+  let w = Expr.bin Or (Expr.byte 0) (Expr.bin Shl (Expr.byte 1) (Expr.const 8)) in
+  ignore (add { Expr.rel = Eq; lhs = w; rhs = Expr.const 0x8000 } s);
+  match Solve.solve s with
+  | Solve.Sat m ->
+      check Alcotest.int "combined" 0x8000
+        (Solve.model_byte m 0 lor (Solve.model_byte m 1 lsl 8))
+  | _ -> Alcotest.fail "expected sat"
+
+let solve_unsat () =
+  let s = Solve.create () in
+  ignore (add { Expr.rel = Lt; lhs = Expr.byte 0; rhs = Expr.const 5 } s);
+  let r = Solve.sat s [ { Expr.rel = Gt; lhs = Expr.byte 0; rhs = Expr.const 10 } ] in
+  check Alcotest.bool "unsat" true (r = Solve.Unsat_result)
+
+let solve_ne_chain () =
+  let s = Solve.create () in
+  for v = 0 to 254 do
+    ignore (add { Expr.rel = Ne; lhs = Expr.byte 0; rhs = Expr.const v } s)
+  done;
+  match Solve.solve s with
+  | Solve.Sat m -> check Alcotest.int "only 255 left" 255 (Solve.model_byte m 0)
+  | _ -> Alcotest.fail "expected sat with 255"
+
+let solve_cross_var () =
+  let s = Solve.create () in
+  ignore (add { Expr.rel = Lt; lhs = Expr.byte 0; rhs = Expr.byte 1 } s);
+  ignore (add { Expr.rel = Eq; lhs = Expr.byte 1; rhs = Expr.const 1 } s);
+  match Solve.solve s with
+  | Solve.Sat m -> check Alcotest.int "forced zero" 0 (Solve.model_byte m 0)
+  | _ -> Alcotest.fail "expected sat"
+
+let solve_empty_store () =
+  match Solve.solve (Solve.create ()) with
+  | Solve.Sat _ -> ()
+  | _ -> Alcotest.fail "empty store is trivially sat"
+
+let solve_arith_sum () =
+  let s = Solve.create () in
+  let sum = Expr.bin Add (Expr.byte 0) (Expr.byte 1) in
+  ignore (add { Expr.rel = Eq; lhs = sum; rhs = Expr.const 300 } s);
+  match Solve.solve s with
+  | Solve.Sat m ->
+      check Alcotest.int "sum" 300 (Solve.model_byte m 0 + Solve.model_byte m 1)
+  | _ -> Alcotest.fail "expected sat"
+
+let ival_masking () =
+  let s = Solve.create () in
+  let lo, hi = Solve.ival s (Expr.bin And (Expr.byte 0) (Expr.const 0x0F)) in
+  check Alcotest.bool "mask bounds" true (lo = 0 && hi <= 0x0F)
+
+let ival_mul_wrap_top () =
+  let s = Solve.create () in
+  let e = Expr.bin Mul (Expr.Bin (Shl, Expr.byte 0, Expr.Const 24)) (Expr.const 0x100) in
+  let _, hi = Solve.ival s e in
+  check Alcotest.bool "wrap gives top" true (hi = 0xFFFFFFFF)
+
+(* Regression: interval evaluation of shifts must mask the count to 31 the
+   way the VM does — found by the soundness property. *)
+let ival_shift_count_masked () =
+  let s = Solve.create () in
+  let e = Expr.Bin (Shr, Expr.Const 0x80000000, Expr.Const 4294967163) in
+  let v = Expr.eval (fun _ -> 0) e in
+  let lo, hi = Solve.ival s e in
+  check Alcotest.bool "masked count sound" true (lo <= v && v <= hi)
+
+(* Regression: ha*hb and ha lsl k can overflow the 63-bit native int, which
+   must widen to top instead of producing a negative bound — found by the
+   soundness property. *)
+let ival_native_overflow_safe () =
+  let s = Solve.create () in
+  let sub = Expr.Bin (Sub, Expr.byte 1, Expr.byte 0) in
+  let e = Expr.Bin (Mul, Expr.Const 4294967121, Expr.Bin (Shl, Expr.Const 999424, sub)) in
+  let v = Expr.eval (fun _ -> 0) e in
+  let lo, hi = Solve.ival s e in
+  check Alcotest.bool "bounds non-negative" true (lo >= 0 && hi >= lo);
+  check Alcotest.bool "value covered" true (lo <= v && v <= hi)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let gen_expr =
+  (* Random small expressions over bytes 0..3. *)
+  let open QCheck.Gen in
+  let leaf = oneof [ map Expr.const (int_bound 300); map Expr.byte (int_bound 3) ] in
+  let op = oneofl [ Add; Sub; Mul; And; Or; Xor; Shl; Shr ] in
+  let rec go n =
+    if n = 0 then leaf
+    else oneof [ leaf; map3 (fun o a b -> Expr.bin o a b) op (go (n - 1)) (go (n - 1)) ]
+  in
+  go 3
+
+let arb_expr = QCheck.make gen_expr ~print:(Fmt.str "%a" Expr.pp)
+
+let arb_env =
+  QCheck.(quad (int_bound 255) (int_bound 255) (int_bound 255) (int_bound 255))
+
+let env_of4 (a, b, c, d) i = List.nth [ a; b; c; d ] (i land 3)
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"interval eval is sound (value within ival)"
+      QCheck.(pair arb_expr arb_env)
+      (fun (e, env4) ->
+        let v = Expr.eval (env_of4 env4) e in
+        let lo, hi = Solve.ival (Solve.create ()) e in
+        lo <= v && v <= hi);
+    QCheck.Test.make ~name:"negate flips cond evaluation"
+      QCheck.(triple arb_expr arb_expr arb_env)
+      (fun (a, b, env4) ->
+        let env = env_of4 env4 in
+        List.for_all
+          (fun rel ->
+            let c = { Expr.rel; lhs = a; rhs = b } in
+            Expr.eval_cond env c = not (Expr.eval_cond env (Expr.negate c)))
+          [ Eq; Ne; Lt; Le; Gt; Ge ]);
+    QCheck.Test.make ~name:"bin folding preserves semantics"
+      QCheck.(pair arb_expr arb_env)
+      (fun (e, env4) ->
+        match e with
+        | Expr.Bin (op, a, b) ->
+            let env = env_of4 env4 in
+            Expr.eval env (Expr.bin op a b) = Expr.eval env e
+        | _ -> true);
+    QCheck.Test.make ~name:"solve returns verifying models" ~count:60
+      QCheck.(list_of_size Gen.(1 -- 4) (pair (int_bound 3) (int_bound 255)))
+      (fun pins ->
+        let s = Solve.create () in
+        let ok =
+          List.for_all
+            (fun (v, x) ->
+              Solve.add s { Expr.rel = Le; lhs = Expr.byte v; rhs = Expr.const x } = Solve.Ok)
+            pins
+        in
+        (not ok)
+        ||
+        match Solve.solve s with
+        | Solve.Sat m -> model_satisfies s m
+        | Solve.Unsat_result | Solve.Unknown -> false);
+  ]
+
+let suite =
+  [
+    tc "expr: constant folding" expr_const_fold;
+    tc "expr: identity folding" expr_identity_fold;
+    tc "expr: evaluation" expr_eval;
+    tc "expr: vars" expr_vars;
+    tc "expr: negate involution" expr_negate_involution;
+    tc "expr: symbolic division by zero" expr_div_zero;
+    tc "store: eq pins domain" store_eq_pins_domain;
+    tc "store: contradiction detected" store_contradiction_detected;
+    tc "store: lt narrows" store_lt_narrows;
+    tc "store: add-shape inversion" store_add_shape_narrows;
+    tc "store: entails" store_entails;
+    tc "store: copy isolation" store_copy_isolated;
+    tc "solve: simple" solve_simple;
+    tc "solve: 16-bit word target" solve_le16_word;
+    tc "solve: unsat detected" solve_unsat;
+    tc "solve: ne chain forces last value" solve_ne_chain;
+    tc "solve: cross-variable ordering" solve_cross_var;
+    tc "solve: empty store" solve_empty_store;
+    tc "solve: arithmetic sum" solve_arith_sum;
+    tc "ival: and-mask bounds" ival_masking;
+    tc "ival: wrap widens to top" ival_mul_wrap_top;
+    tc "ival: shift count masked (regression)" ival_shift_count_masked;
+    tc "ival: native-int overflow safe (regression)" ival_native_overflow_safe;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

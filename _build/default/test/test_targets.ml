@@ -1,0 +1,165 @@
+(* Behavioural tests for the 15 Table II target pairs: every S crashes on
+   its PoC inside the vulnerable function; every T behaves according to its
+   expected verification type. *)
+
+open Octo_vm
+module Registry = Octo_targets.Registry
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let run = Interp.run
+
+let every_s_crashes_on_poc () =
+  List.iter
+    (fun (c : Registry.case) ->
+      match (run c.s ~input:c.poc).outcome with
+      | Interp.Crashed crash ->
+          check Alcotest.string
+            (Printf.sprintf "pair %d crash location" c.idx)
+            c.vuln_func crash.crash_func
+      | Interp.Exited n ->
+          Alcotest.failf "pair %d: S exited %d instead of crashing" c.idx n)
+    Registry.all
+
+let type1_t_crashes_on_original_poc () =
+  (* Type-I means the original poc works on T unchanged. *)
+  List.iter
+    (fun (c : Registry.case) ->
+      if c.expected = Registry.Type_I then
+        match (run c.t ~input:c.poc).outcome with
+        | Interp.Crashed crash ->
+            check Alcotest.string
+              (Printf.sprintf "pair %d T crash location" c.idx)
+              c.vuln_func crash.crash_func
+        | Interp.Exited n -> Alcotest.failf "pair %d: Type-I T exited %d" c.idx n)
+    Registry.all
+
+let type2_t_rejects_original_poc () =
+  (* Type-II means the original guiding input does not fit T. *)
+  List.iter
+    (fun (c : Registry.case) ->
+      if c.expected = Registry.Type_II then
+        match (run c.t ~input:c.poc).outcome with
+        | Interp.Exited _ -> ()
+        | Interp.Crashed _ -> Alcotest.failf "pair %d: Type-II T crashed on original poc" c.idx)
+    Registry.all
+
+let type3_t_never_crashes_on_poc () =
+  List.iter
+    (fun (c : Registry.case) ->
+      if c.expected = Registry.Type_III then
+        match (run c.t ~input:c.poc).outcome with
+        | Interp.Exited _ -> ()
+        | Interp.Crashed _ -> Alcotest.failf "pair %d: Type-III T crashed" c.idx)
+    Registry.all
+
+let cwe_fault_kinds () =
+  (* The fault kind matches the CWE label of each case. *)
+  List.iter
+    (fun (c : Registry.case) ->
+      match (run c.s ~input:c.poc).outcome with
+      | Interp.Crashed crash -> (
+          match (c.cwe, crash.fault) with
+          | "CWE-835", Mem.Hang -> ()
+          | "CWE-835", f -> Alcotest.failf "pair %d: expected hang, got %a" c.idx Mem.pp_fault f
+          | _, (Mem.Oob_write _ | Mem.Oob_read _) -> ()
+          | _, f -> Alcotest.failf "pair %d: unexpected fault %a" c.idx Mem.pp_fault f)
+      | Interp.Exited _ -> Alcotest.failf "pair %d: no crash" c.idx)
+    Registry.all
+
+let registry_indices_unique_and_complete () =
+  let idxs = List.map (fun (c : Registry.case) -> c.idx) Registry.all in
+  check Alcotest.(list int) "1..15" (List.init 15 (fun i -> i + 1)) (List.sort compare idxs)
+
+let registry_expected_distribution () =
+  let count e = List.length (List.filter (fun (c : Registry.case) -> c.expected = e) Registry.all) in
+  check Alcotest.int "6 Type-I" 6 (count Registry.Type_I);
+  check Alcotest.int "3 Type-II" 3 (count Registry.Type_II);
+  check Alcotest.int "5 Type-III" 5 (count Registry.Type_III);
+  check Alcotest.int "1 Failure" 1 (count Registry.Fail)
+
+let registry_find () =
+  check Alcotest.int "find 7" 7 (Registry.find 7).idx;
+  Alcotest.check_raises "missing" (Invalid_argument "Registry.find: no case 99") (fun () ->
+      ignore (Registry.find 99))
+
+let table_subsets () =
+  check Alcotest.(list int) "table3 = 1..9"
+    (List.init 9 (fun i -> i + 1))
+    (List.map (fun (c : Registry.case) -> c.idx) Registry.table3_cases);
+  check Alcotest.(list int) "table45 = 7..9" [ 7; 8; 9 ]
+    (List.map (fun (c : Registry.case) -> c.idx) Registry.table45_cases)
+
+let s_accepts_benign_inputs () =
+  (* Every S exits cleanly on the empty input (EOF-driven rejection, not a
+     crash). *)
+  List.iter
+    (fun (c : Registry.case) ->
+      match (run c.s ~input:"").outcome with
+      | Interp.Exited _ -> ()
+      | Interp.Crashed crash ->
+          Alcotest.failf "pair %d: S crashed on empty input: %a" c.idx Interp.pp_outcome
+            (Interp.Crashed crash))
+    Registry.all
+
+let t_accepts_empty_input () =
+  List.iter
+    (fun (c : Registry.case) ->
+      match (run c.t ~input:"").outcome with
+      | Interp.Exited _ -> ()
+      | Interp.Crashed crash ->
+          Alcotest.failf "pair %d: T crashed on empty input: %a" c.idx Interp.pp_outcome
+            (Interp.Crashed crash))
+    Registry.all
+
+let random_bytes_never_crash_outside_ell () =
+  (* Property: random inputs either exit cleanly or crash inside the shared
+     vulnerable code (our targets contain no unintended memory bugs). *)
+  let rng = Octo_util.Rng.create 2026 in
+  List.iter
+    (fun (c : Registry.case) ->
+      for _ = 1 to 40 do
+        let n = Octo_util.Rng.int rng 64 in
+        let input = String.init n (fun _ -> Char.chr (Octo_util.Rng.byte rng)) in
+        match (run c.t ~input).outcome with
+        | Interp.Exited _ -> ()
+        | Interp.Crashed crash ->
+            if crash.crash_func <> c.vuln_func then
+              Alcotest.failf "pair %d: unintended crash in %s" c.idx crash.crash_func
+      done)
+    Registry.all
+
+let poc_sizes_reasonable () =
+  List.iter
+    (fun (c : Registry.case) ->
+      check Alcotest.bool
+        (Printf.sprintf "pair %d poc non-empty" c.idx)
+        true
+        (String.length c.poc > 0 && String.length c.poc < 256))
+    Registry.all
+
+let binaries_have_code () =
+  List.iter
+    (fun (c : Registry.case) ->
+      check Alcotest.bool "S has code" true (Octo_vm.Asm.size_of_code c.s > 10);
+      check Alcotest.bool "T has code" true (Octo_vm.Asm.size_of_code c.t > 10))
+    Registry.all
+
+let suite =
+  [
+    tc "every S crashes on its PoC in the vulnerable function" every_s_crashes_on_poc;
+    tc "Type-I targets crash on the original PoC" type1_t_crashes_on_original_poc;
+    tc "Type-II targets reject the original PoC" type2_t_rejects_original_poc;
+    tc "Type-III targets never crash on the PoC" type3_t_never_crashes_on_poc;
+    tc "fault kinds match CWE labels" cwe_fault_kinds;
+    tc "registry: indices 1..15" registry_indices_unique_and_complete;
+    tc "registry: expected distribution matches the paper" registry_expected_distribution;
+    tc "registry: find" registry_find;
+    tc "registry: table subsets" table_subsets;
+    tc "S exits cleanly on empty input" s_accepts_benign_inputs;
+    tc "T exits cleanly on empty input" t_accepts_empty_input;
+    tc "random inputs never crash outside ℓ" random_bytes_never_crash_outside_ell;
+    tc "poc sizes reasonable" poc_sizes_reasonable;
+    tc "binaries non-trivial" binaries_have_code;
+  ]

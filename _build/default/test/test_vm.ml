@@ -1,0 +1,484 @@
+(* Unit tests for the MiniVM substrate: ISA semantics, assembler, memory,
+   file table, interpreter and its instrumentation hooks. *)
+
+open Octo_vm
+open Octo_vm.Isa
+open Octo_vm.Asm
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* ISA arithmetic semantics *)
+
+let binop_wraps () =
+  check Alcotest.int "add wraps" 0 (eval_binop Add 0xFFFFFFFF 1);
+  check Alcotest.int "sub wraps" 0xFFFFFFFF (eval_binop Sub 0 1);
+  check Alcotest.int "mul wraps" 0 (eval_binop Mul 0x10000 0x10000);
+  check Alcotest.int "mul wrap x4" 0 (eval_binop Mul (eval_binop Mul 0x8000 0x8000) 4)
+
+let binop_basic () =
+  check Alcotest.int "div" 3 (eval_binop Div 10 3);
+  check Alcotest.int "mod" 1 (eval_binop Mod 10 3);
+  check Alcotest.int "and" 0x0F (eval_binop And 0xFF 0x0F);
+  check Alcotest.int "or" 0xFF (eval_binop Or 0xF0 0x0F);
+  check Alcotest.int "xor" 0xFF (eval_binop Xor 0xF0 0x0F);
+  check Alcotest.int "shl" 0x100 (eval_binop Shl 1 8);
+  check Alcotest.int "shr" 1 (eval_binop Shr 0x100 8)
+
+let binop_div_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () -> ignore (eval_binop Div 1 0));
+  Alcotest.check_raises "mod by zero" Division_by_zero (fun () -> ignore (eval_binop Mod 1 0))
+
+let shift_masks_count () =
+  check Alcotest.int "shl count mod 32" 2 (eval_binop Shl 1 33)
+
+let relop_unsigned () =
+  (* -1 masks to 0xFFFFFFFF, which is the largest unsigned value. *)
+  check Alcotest.bool "unsigned lt" false (eval_relop Lt (-1) 1);
+  check Alcotest.bool "unsigned gt" true (eval_relop Gt (-1) 1);
+  check Alcotest.bool "eq masked" true (eval_relop Eq (-1) 0xFFFFFFFF)
+
+(* ------------------------------------------------------------------ *)
+(* Assembler *)
+
+let asm_simple () =
+  let p =
+    assemble ~name:"t" ~entry:"main"
+      [ fn "main" ~params:0 [ I (Mov (0, Imm 7)); I (Sys (Exit (Reg 0))) ] ]
+  in
+  check Alcotest.int "one function" 1 (Hashtbl.length p.funcs);
+  check Alcotest.int "two instructions" 2 (Asm.size_of_code p)
+
+let asm_labels_resolve () =
+  let p =
+    assemble ~name:"t" ~entry:"main"
+      [
+        fn "main" ~params:0
+          [ I (Jmp "end"); I (Sys (Exit (Imm 1))); L "end"; I (Sys (Exit (Imm 0))) ];
+      ]
+  in
+  match (func_exn p "main").code.(0) with
+  | Jmp 2 -> ()
+  | i -> Alcotest.failf "unexpected %a" pp_instr i
+
+let asm_duplicate_label () =
+  Alcotest.check_raises "dup label" (Asm_error "duplicate label \"x\"") (fun () ->
+      ignore
+        (assemble ~name:"t" ~entry:"main" [ fn "main" ~params:0 [ L "x"; L "x"; I Halt ] ]))
+
+let asm_unknown_label () =
+  Alcotest.check_raises "unknown" (Asm_error "unknown label \"nope\"") (fun () ->
+      ignore (assemble ~name:"t" ~entry:"main" [ fn "main" ~params:0 [ I (Jmp "nope") ] ]))
+
+let asm_unknown_entry () =
+  Alcotest.check_raises "entry" (Asm_error "entry function \"main\" not defined") (fun () ->
+      ignore (assemble ~name:"t" ~entry:"main" [ fn "other" ~params:0 [ I Halt ] ]))
+
+let asm_call_arity_checked () =
+  Alcotest.check_raises "arity"
+    (Asm_error "call to \"f\" with 1 args, expected 2 (in main)")
+    (fun () ->
+      ignore
+        (assemble ~name:"t" ~entry:"main"
+           [
+             fn "main" ~params:0 [ I (Call ("f", [ Imm 1 ], None)); I Halt ];
+             fn "f" ~params:2 [ I (Ret (Imm 0)) ];
+           ]))
+
+let asm_undefined_callee () =
+  Alcotest.check_raises "undefined"
+    (Asm_error "call to undefined function \"g\" (in main)")
+    (fun () ->
+      ignore
+        (assemble ~name:"t" ~entry:"main"
+           [ fn "main" ~params:0 [ I (Call ("g", [], None)) ] ]))
+
+let asm_data_symbols () =
+  let p =
+    assemble ~name:"t" ~entry:"main"
+      ~data:[ ("a", "hi"); ("b", "world") ]
+      [ fn "main" ~params:0 [ I (Mov (0, Sym "b")); I Halt ] ]
+  in
+  (match (func_exn p "main").code.(0) with
+  | Mov (0, Imm addr) -> check Alcotest.int "b after a" (Asm.data_base + 2) addr
+  | i -> Alcotest.failf "unexpected %a" pp_instr i);
+  check Alcotest.int "data entries" 2 (List.length p.data)
+
+let asm_unknown_symbol () =
+  Alcotest.check_raises "unknown sym" (Asm_error "unknown data symbol \"nope\"") (fun () ->
+      ignore
+        (assemble ~name:"t" ~entry:"main" [ fn "main" ~params:0 [ I (Mov (0, Sym "nope")) ] ]))
+
+(* ------------------------------------------------------------------ *)
+(* Memory *)
+
+let mem_alloc_bounds () =
+  let m = Mem.create () in
+  let b = Mem.alloc m 4 in
+  Mem.write8 m (b + 3) 0xAB;
+  check Alcotest.int "read back" 0xAB (Mem.read8 m (b + 3));
+  Alcotest.check_raises "oob write faults" (Mem.Fault (Mem.Oob_write (b + 4))) (fun () ->
+      Mem.write8 m (b + 4) 1)
+
+let mem_alloc_padding () =
+  let m = Mem.create () in
+  let a = Mem.alloc m 8 in
+  let b = Mem.alloc m 8 in
+  check Alcotest.bool "allocations padded apart" true (b - a > 8)
+
+let mem_null_deref () =
+  let m = Mem.create () in
+  Alcotest.check_raises "null read" (Mem.Fault (Mem.Null_deref 4)) (fun () ->
+      ignore (Mem.read8 m 4))
+
+let mem_rodata_protected () =
+  let m = Mem.create () in
+  Mem.load_rodata m [ ("s", 0x1000, "ro") ];
+  check Alcotest.int "rodata readable" (Char.code 'r') (Mem.read8 m 0x1000);
+  Alcotest.check_raises "rodata write faults" (Mem.Fault (Mem.Write_to_rodata 0x1000))
+    (fun () -> Mem.write8 m 0x1000 0)
+
+let mem_word_roundtrip () =
+  let m = Mem.create () in
+  let b = Mem.alloc m 8 in
+  Mem.write_word m b 0xDEADBEEF;
+  check Alcotest.int "word roundtrip" 0xDEADBEEF (Mem.read_word m b);
+  check Alcotest.int "little endian low byte" 0xEF (Mem.read8 m b)
+
+let mem_zero_alloc () =
+  let m = Mem.create () in
+  let b = Mem.alloc m 0 in
+  Alcotest.check_raises "empty region faults" (Mem.Fault (Mem.Oob_write b)) (fun () ->
+      Mem.write8 m b 1)
+
+(* ------------------------------------------------------------------ *)
+(* Vfile *)
+
+let vfile_sequential () =
+  let f = Vfile.create "hello" in
+  let fd = Vfile.open_ f in
+  let off, s = Vfile.read f fd 3 in
+  check Alcotest.int "first offset" 0 off;
+  check Alcotest.string "first bytes" "hel" s;
+  let _, s2 = Vfile.read f fd 10 in
+  check Alcotest.string "short read at EOF" "lo" s2;
+  let _, s3 = Vfile.read f fd 1 in
+  check Alcotest.string "EOF reads empty" "" s3
+
+let vfile_seek_tell () =
+  let f = Vfile.create "abcdef" in
+  let fd = Vfile.open_ f in
+  Vfile.seek f fd 4;
+  check Alcotest.int "tell after seek" 4 (Vfile.tell f fd);
+  let _, s = Vfile.read f fd 2 in
+  check Alcotest.string "read at pos" "ef" s
+
+let vfile_seek_past_eof () =
+  let f = Vfile.create "ab" in
+  let fd = Vfile.open_ f in
+  Vfile.seek f fd 100;
+  let _, s = Vfile.read f fd 4 in
+  check Alcotest.string "reads empty" "" s
+
+let vfile_two_handles () =
+  let f = Vfile.create "xyz" in
+  let a = Vfile.open_ f and b = Vfile.open_ f in
+  ignore (Vfile.read f a 2);
+  check Alcotest.int "independent positions" 0 (Vfile.tell f b)
+
+let vfile_bad_fd () =
+  let f = Vfile.create "" in
+  Alcotest.check_raises "bad fd" (Vfile.Bad_fd 99) (fun () -> ignore (Vfile.tell f 99))
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter *)
+
+let prog items = assemble ~name:"t" ~entry:"main" [ fn "main" ~params:0 items ]
+
+let run ?(input = "") p = Interp.run p ~input
+
+let exit_code r = match r.Interp.outcome with Interp.Exited c -> c | Interp.Crashed _ -> -1
+
+let interp_arith () =
+  let p =
+    prog [ I (Mov (1, Imm 6)); I (Bin (Mul, 2, Reg 1, Imm 7)); I (Sys (Exit (Reg 2))) ]
+  in
+  check Alcotest.int "6*7" 42 (exit_code (run p))
+
+let interp_branching () =
+  let p =
+    prog
+      [
+        I (Mov (1, Imm 5));
+        I (Jif (Lt, Reg 1, Imm 10, "small"));
+        I (Sys (Exit (Imm 1)));
+        L "small";
+        I (Sys (Exit (Imm 0)));
+      ]
+  in
+  check Alcotest.int "takes branch" 0 (exit_code (run p))
+
+let interp_loop () =
+  (* sum 1..10 *)
+  let p =
+    prog
+      [
+        I (Mov (1, Imm 0));
+        I (Mov (2, Imm 1));
+        L "l";
+        I (Jif (Gt, Reg 2, Imm 10, "done"));
+        I (Bin (Add, 1, Reg 1, Reg 2));
+        I (Bin (Add, 2, Reg 2, Imm 1));
+        I (Jmp "l");
+        L "done";
+        I (Sys (Exit (Reg 1)));
+      ]
+  in
+  check Alcotest.int "sum" 55 (exit_code (run p))
+
+let interp_call_ret () =
+  let p =
+    assemble ~name:"t" ~entry:"main"
+      [
+        fn "main" ~params:0 [ I (Call ("double", [ Imm 21 ], Some 1)); I (Sys (Exit (Reg 1))) ];
+        fn "double" ~params:1 [ I (Bin (Add, 1, Reg 0, Reg 0)); I (Ret (Reg 1)) ];
+      ]
+  in
+  check Alcotest.int "call result" 42 (exit_code (run p))
+
+let interp_recursion () =
+  let p =
+    assemble ~name:"t" ~entry:"main"
+      [
+        fn "main" ~params:0 [ I (Call ("fact", [ Imm 6 ], Some 1)); I (Sys (Exit (Reg 1))) ];
+        fn "fact" ~params:1
+          [
+            I (Jif (Le, Reg 0, Imm 1, "base"));
+            I (Bin (Sub, 1, Reg 0, Imm 1));
+            I (Call ("fact", [ Reg 1 ], Some 2));
+            I (Bin (Mul, 3, Reg 0, Reg 2));
+            I (Ret (Reg 3));
+            L "base";
+            I (Ret (Imm 1));
+          ];
+      ]
+  in
+  check Alcotest.int "6!" 720 (exit_code (run p))
+
+let interp_fall_off_returns_zero () =
+  let p =
+    assemble ~name:"t" ~entry:"main"
+      [
+        fn "main" ~params:0 [ I (Call ("f", [], Some 1)); I (Sys (Exit (Reg 1))) ];
+        fn "f" ~params:0 [ I (Mov (0, Imm 9)) ];
+      ]
+  in
+  check Alcotest.int "implicit ret 0" 0 (exit_code (run p))
+
+let interp_read_input () =
+  let p =
+    prog
+      [
+        I (Sys (Open 1));
+        I (Sys (Alloc (2, Imm 8)));
+        I (Sys (Read (3, Reg 1, Reg 2, Imm 2)));
+        I (Load8 (4, Reg 2, Imm 1));
+        I (Sys (Exit (Reg 4)));
+      ]
+  in
+  check Alcotest.int "second byte" Char.(code 'B') (exit_code (run ~input:"AB" p))
+
+let interp_mmap () =
+  let p =
+    prog [ I (Sys (Mmap (1, Imm 0))); I (Load8 (2, Reg 1, Imm 3)); I (Sys (Exit (Reg 2))) ]
+  in
+  check Alcotest.int "mapped byte" Char.(code 'D') (exit_code (run ~input:"ABCD" p))
+
+let interp_fsize_tell_seek () =
+  let p =
+    prog
+      [
+        I (Sys (Open 1));
+        I (Sys (Fsize (2, Reg 1)));
+        I (Sys (Seek (Reg 1, Imm 2)));
+        I (Sys (Tell (3, Reg 1)));
+        I (Bin (Mul, 4, Reg 2, Imm 10));
+        I (Bin (Add, 4, Reg 4, Reg 3));
+        I (Sys (Exit (Reg 4)));
+      ]
+  in
+  check Alcotest.int "size*10+pos" 52 (exit_code (run ~input:"hello" p))
+
+let interp_crash_backtrace () =
+  let p =
+    assemble ~name:"t" ~entry:"main"
+      [
+        fn "main" ~params:0 [ I (Call ("inner", [], None)); I Halt ];
+        fn "inner" ~params:0 [ I (Store8 (Imm 4, Imm 0, Imm 1)) ];
+      ]
+  in
+  match (run p).outcome with
+  | Interp.Crashed c ->
+      check Alcotest.(list string) "backtrace" [ "main"; "inner" ] c.backtrace;
+      check Alcotest.string "crash func" "inner" c.crash_func;
+      (match c.fault with Mem.Null_deref _ -> () | f -> Alcotest.failf "fault %a" Mem.pp_fault f)
+  | Interp.Exited _ -> Alcotest.fail "expected crash"
+
+let interp_hang_budget () =
+  let p = prog [ L "l"; I (Jmp "l") ] in
+  match (Interp.run ~max_steps:1000 p ~input:"").outcome with
+  | Interp.Crashed { fault = Mem.Hang; _ } -> ()
+  | o -> Alcotest.failf "expected hang, got %a" Interp.pp_outcome o
+
+let interp_div_zero_fault () =
+  let p = prog [ I (Mov (1, Imm 0)); I (Bin (Div, 2, Imm 1, Reg 1)); I Halt ] in
+  match (run p).outcome with
+  | Interp.Crashed { fault = Mem.Div_by_zero; _ } -> ()
+  | o -> Alcotest.failf "expected div0, got %a" Interp.pp_outcome o
+
+let interp_emit_outputs () =
+  let p = prog [ I (Sys (Emit (Imm 1))); I (Sys (Emit (Imm 2))); I (Sys (Exit (Imm 0))) ] in
+  check Alcotest.(list int) "outputs in order" [ 1; 2 ] (run p).outputs
+
+let interp_icall () =
+  let p =
+    assemble ~name:"t" ~entry:"main"
+      [
+        fn "main" ~params:0 [ I (Icall (Imm 1, [ Imm 20 ], Some 1)); I (Sys (Exit (Reg 1))) ];
+        fn "h" ~params:1 [ I (Bin (Add, 1, Reg 0, Imm 2)); I (Ret (Reg 1)) ];
+      ]
+  in
+  check Alcotest.int "through table" 22 (exit_code (run p))
+
+let interp_icall_invalid_slot () =
+  let p = prog [ I (Icall (Imm 99, [], None)); I Halt ] in
+  match (run p).outcome with
+  | Interp.Crashed { fault = Mem.Bad_icall 99; _ } -> ()
+  | o -> Alcotest.failf "expected bad icall, got %a" Interp.pp_outcome o
+
+let hooks_input_bytes () =
+  let seen = ref [] in
+  let hooks =
+    { Interp.no_hooks with
+      on_input_bytes = (fun ~addr ~file_off ~len -> seen := (addr, file_off, len) :: !seen) }
+  in
+  let p =
+    prog
+      [
+        I (Sys (Open 1));
+        I (Sys (Alloc (2, Imm 8)));
+        I (Sys (Read (3, Reg 1, Reg 2, Imm 2)));
+        I (Sys (Read (3, Reg 1, Reg 2, Imm 2)));
+        I Halt;
+      ]
+  in
+  ignore (Interp.run ~hooks p ~input:"abcd");
+  check Alcotest.int "two read events" 2 (List.length !seen);
+  let offs = List.rev_map (fun (_, o, _) -> o) !seen in
+  check Alcotest.(list int) "file offsets advance" [ 0; 2 ] offs
+
+let hooks_access_dataflow () =
+  (* A mov from register to register reports the source as read and the
+     destination as written. *)
+  let events = ref [] in
+  let hooks = { Interp.no_hooks with on_access = (fun a -> events := a :: !events) } in
+  let p = prog [ I (Mov (1, Imm 3)); I (Mov (2, Reg 1)); I Halt ] in
+  ignore (Interp.run ~hooks p ~input:"");
+  let second = List.nth (List.rev !events) 1 in
+  check Alcotest.int "one read" 1 (List.length second.Interp.reads);
+  (match second.Interp.reads with
+  | [ Interp.OReg (_, 1) ] -> ()
+  | _ -> Alcotest.fail "expected read of r1");
+  match second.Interp.writes with
+  | [ Interp.OReg (_, 2) ] -> ()
+  | _ -> Alcotest.fail "expected write of r2"
+
+let hooks_call_args () =
+  let calls = ref [] in
+  let hooks =
+    { Interp.no_hooks with
+      on_call = (fun ~fname ~frame_id:_ ~args -> calls := (fname, args) :: !calls) }
+  in
+  let p =
+    assemble ~name:"t" ~entry:"main"
+      [
+        fn "main" ~params:0 [ I (Call ("g", [ Imm 4; Imm 5 ], None)); I Halt ];
+        fn "g" ~params:2 [ I (Ret (Imm 0)) ];
+      ]
+  in
+  ignore (Interp.run ~hooks p ~input:"");
+  check Alcotest.(list (pair string (list int))) "call observed" [ ("g", [ 4; 5 ]) ] !calls
+
+let hooks_edges_on_branch () =
+  let edges = ref 0 in
+  let hooks = { Interp.no_hooks with on_edge = (fun _ _ _ -> incr edges) } in
+  let p = prog [ I (Jif (Eq, Imm 1, Imm 1, "x")); L "x"; I Halt ] in
+  ignore (Interp.run ~hooks p ~input:"");
+  check Alcotest.bool "edge fired" true (!edges >= 1)
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"binop result always fits 32 bits"
+      QCheck.(triple (int_bound 9) int int)
+      (fun (opi, a, b) ->
+        let op = [| Add; Sub; Mul; Div; Mod; And; Or; Xor; Shl; Shr |].(opi) in
+        try
+          let r = eval_binop op a b in
+          r >= 0 && r <= 0xFFFFFFFF
+        with Division_by_zero -> true);
+    QCheck.Test.make ~name:"relop total order consistency"
+      QCheck.(pair int int)
+      (fun (a, b) ->
+        eval_relop Le a b = (eval_relop Lt a b || eval_relop Eq a b)
+        && eval_relop Ge a b = not (eval_relop Lt a b));
+  ]
+
+let suite =
+  [
+    tc "isa: binop wraps at 32 bits" binop_wraps;
+    tc "isa: binop basics" binop_basic;
+    tc "isa: division by zero raises" binop_div_zero;
+    tc "isa: shift count masked" shift_masks_count;
+    tc "isa: comparisons unsigned" relop_unsigned;
+    tc "asm: simple program" asm_simple;
+    tc "asm: labels resolve" asm_labels_resolve;
+    tc "asm: duplicate label rejected" asm_duplicate_label;
+    tc "asm: unknown label rejected" asm_unknown_label;
+    tc "asm: unknown entry rejected" asm_unknown_entry;
+    tc "asm: call arity checked" asm_call_arity_checked;
+    tc "asm: undefined callee rejected" asm_undefined_callee;
+    tc "asm: data symbols laid out" asm_data_symbols;
+    tc "asm: unknown symbol rejected" asm_unknown_symbol;
+    tc "mem: alloc bounds enforced" mem_alloc_bounds;
+    tc "mem: allocations padded" mem_alloc_padding;
+    tc "mem: null dereference" mem_null_deref;
+    tc "mem: rodata protected" mem_rodata_protected;
+    tc "mem: word little-endian roundtrip" mem_word_roundtrip;
+    tc "mem: zero-size alloc faults on use" mem_zero_alloc;
+    tc "vfile: sequential reads" vfile_sequential;
+    tc "vfile: seek and tell" vfile_seek_tell;
+    tc "vfile: seek past EOF reads empty" vfile_seek_past_eof;
+    tc "vfile: handles independent" vfile_two_handles;
+    tc "vfile: bad fd raises" vfile_bad_fd;
+    tc "interp: arithmetic" interp_arith;
+    tc "interp: branching" interp_branching;
+    tc "interp: loop" interp_loop;
+    tc "interp: call and return" interp_call_ret;
+    tc "interp: recursion" interp_recursion;
+    tc "interp: fall-off returns zero" interp_fall_off_returns_zero;
+    tc "interp: read from input" interp_read_input;
+    tc "interp: mmap input" interp_mmap;
+    tc "interp: fsize/tell/seek" interp_fsize_tell_seek;
+    tc "interp: crash carries backtrace" interp_crash_backtrace;
+    tc "interp: hang budget fault" interp_hang_budget;
+    tc "interp: div by zero faults" interp_div_zero_fault;
+    tc "interp: emit collects outputs" interp_emit_outputs;
+    tc "interp: indirect call" interp_icall;
+    tc "interp: invalid icall slot faults" interp_icall_invalid_slot;
+    tc "hooks: input byte events" hooks_input_bytes;
+    tc "hooks: access dataflow" hooks_access_dataflow;
+    tc "hooks: call arguments" hooks_call_args;
+    tc "hooks: branch edges" hooks_edges_on_branch;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests
