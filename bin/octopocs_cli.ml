@@ -2,7 +2,8 @@
 
    Subcommands:
      verify <idx>     run the full pipeline on one Table II pair
-     verify-all       run all 15 pairs and print the Table II summary
+     verify-all       run all 15 pairs (optionally in parallel with --jobs)
+                      and print the Table II summary
      inspect <idx>    show the pair's programs, PoC hexdump and ℓ
      fuzz <idx>       run the AFLFast baseline on the pair's T binary *)
 
@@ -50,16 +51,55 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc:"Verify one Table II pair")
     Term.(const (fun dynamic idx -> run_one ~dynamic idx) $ dynamic $ idx)
 
-let run_all () =
-  let failures =
-    List.fold_left (fun acc (c : Registry.case) -> acc + run_one c.idx) 0 Registry.all
-  in
-  say "%d/%d pairs match the paper's verdicts" (List.length Registry.all - failures)
-    (List.length Registry.all);
-  if failures = 0 then 0 else 1
+let run_all jobs =
+  if jobs <= 1 then begin
+    let failures =
+      List.fold_left (fun acc (c : Registry.case) -> acc + run_one c.idx) 0 Registry.all
+    in
+    say "%d/%d pairs match the paper's verdicts" (List.length Registry.all - failures)
+      (List.length Registry.all);
+    if failures = 0 then 0 else 1
+  end
+  else begin
+    (* Parallel batch: verify on a fixed pool of worker domains, then print
+       the summary in registry order. *)
+    let t0 = Unix.gettimeofday () in
+    let batch =
+      List.map
+        (fun (c : Registry.case) ->
+          Octopocs.job ~label:(string_of_int c.idx) ~s:c.s ~t:c.t ~poc:c.poc ())
+        Registry.all
+    in
+    let results = Octopocs.run_all ~jobs batch in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let failures =
+      List.fold_left2
+        (fun acc (c : Registry.case) (label, (r : Octopocs.report)) ->
+          assert (label = string_of_int c.idx);
+          let got = Octopocs.verdict_class r.verdict in
+          let want = Registry.expected_to_string c.expected in
+          say "Pair %-3s %-22s -> %-40s %s" label
+            (Printf.sprintf "%s/%s" c.s.pname c.t.pname)
+            (Fmt.str "%a" Octopocs.pp_verdict r.verdict)
+            (if got = want then "MATCH" else Printf.sprintf "MISMATCH (want %s)" want);
+          if got = want then acc else acc + 1)
+        0 Registry.all results
+    in
+    say "%d/%d pairs match the paper's verdicts (%.3fs wall, %d worker domain(s))"
+      (List.length Registry.all - failures)
+      (List.length Registry.all)
+      elapsed
+      (Octo_util.Pool.effective_jobs jobs);
+    if failures = 0 then 0 else 1
+  end
 
 let verify_all_cmd =
-  Cmd.v (Cmd.info "verify-all" ~doc:"Verify all 15 pairs") Term.(const run_all $ const ())
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Verify pairs in parallel on $(docv) worker domains (default 1: serial).")
+  in
+  Cmd.v (Cmd.info "verify-all" ~doc:"Verify all 15 pairs") Term.(const run_all $ jobs)
 
 let inspect idx =
   let c = Registry.find idx in

@@ -181,6 +181,54 @@ let distance t fname pc =
   | Some d when pc >= 0 && pc < Array.length d -> d.(pc)
   | _ -> infinity
 
+(** [distance_fn t] is [distance t] specialised for hot loops (the branch
+    policy of directed execution queries it at every undecided branch, twice):
+    the per-function distance array is resolved once per function name and
+    memoized, so every subsequent (func, pc) lookup is a bounds check plus an
+    array read instead of a hashtable probe into [t.dist]. *)
+let distance_fn t =
+  let cache : (string, int array) Hashtbl.t = Hashtbl.create 16 in
+  fun fname pc ->
+    let arr =
+      match Hashtbl.find_opt cache fname with
+      | Some a -> a
+      | None ->
+          let a = match Hashtbl.find_opt t.dist fname with Some d -> d | None -> [||] in
+          Hashtbl.add cache fname a;
+          a
+    in
+    if pc >= 0 && pc < Array.length arr then arr.(pc) else infinity
+
+(* ------------------------------------------------------------------ *)
+(* Build cache.  A distance map is immutable once built, and batch
+   verification (verify-all, benchmarks, loop retries) rebuilds the same
+   (program, ep) map over and over.  Keyed by physical program identity, so
+   a devirtualized copy of the same binary misses as it must.  The lock
+   makes the cache safe under the parallel pair runner. *)
+
+let cache_lock = Mutex.create ()
+let cache : (program * string * t) list ref = ref []
+let cache_cap = 32
+
+(** [build_cached program ~ep] is {!build} memoized on the physical identity
+    of [program] plus [ep].  Failures ({!Cfg_error}) are not cached. *)
+let build_cached ?allow_unresolved (prog : program) ~(ep : string) : t =
+  Mutex.lock cache_lock;
+  let hit = List.find_opt (fun (p, e, _) -> p == prog && e = ep) !cache in
+  Mutex.unlock cache_lock;
+  match hit with
+  | Some (_, _, t) -> t
+  | None ->
+      let t = build ?allow_unresolved prog ~ep in
+      Mutex.lock cache_lock;
+      let rest =
+        if List.length !cache >= cache_cap then List.filteri (fun i _ -> i < cache_cap - 1) !cache
+        else !cache
+      in
+      cache := (prog, ep, t) :: rest;
+      Mutex.unlock cache_lock;
+      t
+
 (** [ep_reachable t] tells whether the program entry can reach [ep] at all —
     the "ep is not called in T" test of verification case (ii). *)
 let ep_reachable t = distance t t.prog.entry 0 < infinity

@@ -209,14 +209,14 @@ let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(
                  call targets; symbolic execution then runs on the repaired
                  binary while P4 verifies against the original. *)
               let cfg_result =
-                match Cfg.build t ~ep with
+                match Cfg.build_cached t ~ep with
                 | cfg -> Ok (t, cfg)
                 | exception Cfg.Cfg_error msg ->
                     if not config.dynamic_cfg then Error msg
                     else begin
                       let observed = Octo_cfg.Dyncfg.observe t ~seeds:[ poc ] in
                       let t' = Octo_cfg.Devirt.apply t ~observed in
-                      match Cfg.build t' ~ep with
+                      match Cfg.build_cached t' ~ep with
                       | cfg -> Ok (t', cfg)
                       | exception Cfg.Cfg_error msg2 ->
                           Error (msg ^ "; dynamic CFG also failed: " ^ msg2)
@@ -281,3 +281,26 @@ let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(
                   end
             end))
   end
+
+(* ------------------------------------------------------------------ *)
+(* Batch verification. *)
+
+type job = {
+  label : string;
+  js : Isa.program;
+  jt : Isa.program;
+  jpoc : string;
+  jell : string list option;
+}
+
+let job ?ell ~label ~s ~t ~poc () = { label; js = s; jt = t; jpoc = poc; jell = ell }
+
+(** [run_all ?config ?jobs jobs_list] verifies every pair, fanning out over
+    a fixed pool of [jobs] worker domains ([jobs <= 1] runs serially in the
+    calling domain).  Results keep the input order.  Pairs are independent —
+    each run builds its own stores and states — so corpus throughput scales
+    with cores until memory bandwidth saturates. *)
+let run_all ?(config = default_config) ?(jobs = 1) (batch : job list) :
+    (string * report) list =
+  let one j = (j.label, run ~config ?ell:j.jell ~s:j.js ~t:j.jt ~poc:j.jpoc ()) in
+  Octo_util.Pool.parallel_map ~jobs one batch

@@ -88,3 +88,24 @@ val run :
   poc:string ->
   unit ->
   report
+
+(** A batch-verification work item: one (S, T, PoC) pair plus a caller
+    label (e.g. the registry index) used to key the result. *)
+type job
+
+(** [job ~label ~s ~t ~poc ()] builds a batch item; [?ell] overrides clone
+    detection as in {!run}. *)
+val job :
+  ?ell:string list ->
+  label:string ->
+  s:Octo_vm.Isa.program ->
+  t:Octo_vm.Isa.program ->
+  poc:string ->
+  unit ->
+  job
+
+(** [run_all ?config ?jobs batch] verifies every pair of [batch], fanning
+    the work out over a fixed pool of [jobs] worker domains
+    ({!Octo_util.Pool}); [jobs <= 1] (the default) runs serially in the
+    calling domain.  Results are returned in input order, labelled. *)
+val run_all : ?config:config -> ?jobs:int -> job list -> (string * report) list

@@ -1,13 +1,25 @@
 (** Constraint solving over input-byte variables.
 
     A {!store} maintains interval domains for every byte variable together
-    with the list of accumulated path constraints.  Adding a constraint
-    triggers interval propagation (forward evaluation plus best-effort
-    backward narrowing), which is what lets directed symbolic execution
-    prune unsatisfiable branch choices cheaply — the loop-dead test of
-    §III-B.  Full model construction ([solve]) performs backtracking search
-    with a node budget; every candidate model is verified by concrete
-    evaluation, so narrowing never needs to be complete for soundness. *)
+    with the accumulated path constraints.  Adding a constraint triggers
+    interval propagation (forward evaluation plus best-effort backward
+    narrowing), which is what lets directed symbolic execution prune
+    unsatisfiable branch choices cheaply — the loop-dead test of §III-B.
+    Full model construction ([solve]) performs backtracking search with a
+    node budget; every candidate model is verified by concrete evaluation,
+    so narrowing never needs to be complete for soundness.
+
+    Engine layout (the hot path of every pipeline phase):
+
+    - Domains live in a growable array indexed by byte offset, so [dom] and
+      [set_dom] are O(1) instead of assoc-list walks.
+    - A var→constraint dependency index drives AC-3-style worklist
+      propagation: narrowing a variable enqueues only the constraints that
+      mention it, so [add] is proportional to the affected slice of the
+      store rather than re-running every constraint to a fixpoint.
+    - Model search records [(var, old_interval)] undo entries on a trail,
+      making backtracking O(changes touched) instead of copying the whole
+      store per candidate value. *)
 
 open Octo_vm.Isa
 
@@ -17,21 +29,113 @@ let word_max = 0xFFFFFFFF
 let top : interval = (0, word_max)
 let byte_top : interval = (0, 255)
 
+(* Trail of undo records.  Represented as a cons list so a [mark] is just
+   the current list: [undo_to] pops back to the marked tail by physical
+   equality, touching only the entries written since the mark. *)
+type trail = (int * interval) list
+
 type store = {
-  mutable doms : (int * interval) list;  (* assoc var -> domain; sorted not required *)
-  mutable cons : Expr.cond list;         (* newest first *)
-  mutable nvars : int;
+  mutable doms : interval array;   (* var -> domain; byte_top when untouched *)
+  mutable deps : int list array;   (* var -> ids of constraints mentioning it *)
+  mutable dcap : int;              (* capacity of [doms]/[deps] *)
+  mutable cons : Expr.cond array;  (* constraints in insertion order *)
+  mutable ncons : int;
+  mutable queued : bool array;     (* constraint id -> already on worklist *)
+  mutable queue : int Queue.t;     (* propagation worklist *)
+  mutable trail : trail;
+  mutable trailing : bool;         (* record undo entries in [set_dom]? *)
+  mutable nvars : int;             (* distinct variables seen so far *)
 }
 
-let create () = { doms = []; cons = []; nvars = 0 }
+let dummy_cond : Expr.cond = { rel = Eq; lhs = Expr.Const 0; rhs = Expr.Const 0 }
 
-let copy s = { doms = s.doms; cons = s.cons; nvars = s.nvars }
+let create () =
+  {
+    doms = [||];
+    deps = [||];
+    dcap = 0;
+    cons = [||];
+    ncons = 0;
+    queued = [||];
+    queue = Queue.create ();
+    trail = [];
+    trailing = false;
+    nvars = 0;
+  }
 
-let dom s v = match List.assoc_opt v s.doms with Some d -> d | None -> byte_top
+(* The queue is empty and the trail off outside [add]/[propagate]/[solve],
+   so a copy starts with fresh empty ones. *)
+let copy s =
+  {
+    doms = Array.copy s.doms;
+    deps = Array.copy s.deps;
+    dcap = s.dcap;
+    cons = Array.copy s.cons;
+    ncons = s.ncons;
+    queued = Array.make (Array.length s.queued) false;
+    queue = Queue.create ();
+    trail = [];
+    trailing = false;
+    nvars = s.nvars;
+  }
 
-let set_dom s v d = s.doms <- (v, d) :: List.remove_assoc v s.doms
+(* Negative offsets cannot occur for real input bytes; they are treated as
+   unconstrained (never narrowed, skipped by search) so a malformed bunch
+   offset degrades to "no pruning" rather than an exception. *)
+let dom s v = if v < 0 || v >= s.dcap then byte_top else s.doms.(v)
 
-let constraints s = List.rev s.cons
+let ensure_var s v =
+  if v >= s.dcap then begin
+    let cap = max 16 (max (v + 1) (2 * s.dcap)) in
+    let doms = Array.make cap byte_top in
+    Array.blit s.doms 0 doms 0 s.dcap;
+    let deps = Array.make cap [] in
+    Array.blit s.deps 0 deps 0 s.dcap;
+    s.doms <- doms;
+    s.deps <- deps;
+    s.dcap <- cap
+  end
+
+(** [set_dom s v d] writes domain [d] for variable [v], recording an undo
+    entry when a trail is active and enqueueing every constraint that
+    mentions [v].  No-ops when the domain is unchanged, which is what makes
+    worklist propagation converge (domains only shrink). *)
+let set_dom s v d =
+  if v >= 0 then begin
+    ensure_var s v;
+    let old = s.doms.(v) in
+    if d <> old then begin
+      if s.trailing then s.trail <- (v, old) :: s.trail;
+      s.doms.(v) <- d;
+      List.iter
+        (fun ci ->
+          if not s.queued.(ci) then begin
+            s.queued.(ci) <- true;
+            Queue.add ci s.queue
+          end)
+        s.deps.(v)
+    end
+  end
+
+type mark = trail
+
+let mark s : mark = s.trail
+
+(** [undo_to s m] rolls the domains back to the state captured by [mark].
+    Cost is proportional to the number of narrowings since the mark. *)
+let undo_to s (m : mark) =
+  let rec go l =
+    if l != m then
+      match l with
+      | (v, d) :: tl ->
+          s.doms.(v) <- d;
+          go tl
+      | [] -> ()
+  in
+  go s.trail;
+  s.trail <- m
+
+let constraints s = Array.to_list (Array.sub s.cons 0 s.ncons)
 
 (* ------------------------------------------------------------------ *)
 (* Forward interval evaluation with wrap-awareness: any operation that
@@ -114,7 +218,9 @@ let rec narrow s (e : Expr.t) ((lo, hi) as want : interval) =
   if lo > hi then raise Unsat_exn;
   match e with
   | Const v -> if v < lo || v > hi then raise Unsat_exn
-  | Byte i -> set_dom s i (inter (dom s i) (inter want byte_top))
+  | Byte i ->
+      if i < 0 then ignore (inter byte_top want)
+      else set_dom s i (inter (dom s i) (inter want byte_top))
   | Sel (table, idx) ->
       (* Only indices whose table entry lies in [want] remain feasible;
          narrow the index to their convex hull. *)
@@ -191,33 +297,107 @@ let narrow_cond s (c : Expr.cond) =
       narrow s c.lhs (max la lb, ha);
       narrow s c.rhs (lb, min hb ha)
 
-(* Re-propagate all constraints to a fixpoint (domains only shrink, so this
-   terminates).  A pass cap guards against pathological ping-ponging. *)
+(* ------------------------------------------------------------------ *)
+(* Worklist propagation: drain the queue of dirty constraints, where
+   narrowing a variable re-enqueues exactly the constraints that mention it.
+   Domains only shrink over a finite lattice, so the drain terminates; a
+   work budget additionally guards against pathological ping-ponging between
+   constraints that narrow without converging quickly (propagation is
+   best-effort, so stopping early is sound). *)
+
+let clear_queue s =
+  Queue.iter (fun ci -> s.queued.(ci) <- false) s.queue;
+  Queue.clear s.queue
+
 let propagate s =
-  let max_passes = 50 in
-  let rec go pass =
-    if pass >= max_passes then ()
-    else begin
-      let before = s.doms in
-      List.iter (fun c -> narrow_cond s c) s.cons;
-      if s.doms != before && s.doms <> before then go (pass + 1)
-    end
-  in
-  go 0
+  let budget = ref (200 + (64 * s.ncons)) in
+  try
+    while not (Queue.is_empty s.queue) do
+      let ci = Queue.pop s.queue in
+      s.queued.(ci) <- false;
+      if !budget > 0 then begin
+        decr budget;
+        narrow_cond s s.cons.(ci)
+      end
+      else clear_queue s
+    done
+  with e ->
+    clear_queue s;
+    raise e
 
 type add_result = Ok | Unsat
 
-(** [add s c] records constraint [c] and propagates.  [Unsat] means the
-    store is now definitely unsatisfiable (domains emptied); [Ok] means it
-    may still be satisfiable. *)
-let add s (c : Expr.cond) : add_result =
-  s.cons <- c :: s.cons;
-  List.iter (fun v -> if not (List.mem_assoc v s.doms) then s.nvars <- s.nvars + 1)
+let push_cons s (c : Expr.cond) : int =
+  let id = s.ncons in
+  if id >= Array.length s.cons then begin
+    let cap = max 16 (2 * Array.length s.cons) in
+    let cons = Array.make cap dummy_cond in
+    Array.blit s.cons 0 cons 0 s.ncons;
+    let queued = Array.make cap false in
+    Array.blit s.queued 0 queued 0 s.ncons;
+    s.cons <- cons;
+    s.queued <- queued
+  end;
+  s.cons.(id) <- c;
+  s.ncons <- id + 1;
+  List.iter
+    (fun v ->
+      if v >= 0 then begin
+        ensure_var s v;
+        if s.deps.(v) = [] then s.nvars <- s.nvars + 1;
+        s.deps.(v) <- id :: s.deps.(v)
+      end)
     (Expr.cond_vars c);
+  id
+
+(* Remove the most recently added constraint (and its dependency-index
+   entries); only valid directly after [push_cons]. *)
+let pop_cons s (id : int) =
+  assert (id = s.ncons - 1);
+  let c = s.cons.(id) in
+  List.iter
+    (fun v ->
+      if v >= 0 && v < s.dcap then
+        s.deps.(v) <- List.filter (fun i -> i <> id) s.deps.(v))
+    (Expr.cond_vars c);
+  s.cons.(id) <- dummy_cond;
+  s.queued.(id) <- false;
+  s.ncons <- id
+
+(** [add s c] records constraint [c] and propagates from it through the
+    dependency index.  [Unsat] means the store is now definitely
+    unsatisfiable (a domain emptied); [Ok] means it may still be
+    satisfiable. *)
+let add s (c : Expr.cond) : add_result =
+  let id = push_cons s c in
+  s.queued.(id) <- true;
+  Queue.add id s.queue;
   try
     propagate s;
     Ok
   with Unsat_exn -> Unsat
+
+(** [add_checked s c] is [add] that leaves the store untouched when the
+    constraint is unsatisfiable: the constraint is retracted and every
+    narrowing it performed is rolled back.  This is what lets a branch
+    chooser probe one direction and cleanly fall back to the other without
+    poisoning the store (directed execution's push/pop at branch points). *)
+let add_checked s (c : Expr.cond) : add_result =
+  let was = s.trailing in
+  s.trailing <- true;
+  let m = mark s in
+  let id = push_cons s c in
+  s.queued.(id) <- true;
+  Queue.add id s.queue;
+  let r = try propagate s; Ok with Unsat_exn -> Unsat in
+  (match r with
+  | Unsat ->
+      undo_to s m;
+      pop_cons s id
+  | Ok -> ());
+  s.trailing <- was;
+  if not was then s.trail <- [];
+  r
 
 (** [entails s c] evaluates [c] under the current domains. *)
 let entails s c = eval_cond_iv s c
@@ -236,47 +416,69 @@ type solve_result =
   | Unsat_result
   | Unknown  (** node budget exhausted *)
 
+exception Budget_exceeded
+(** Raised internally when the model-search node budget runs out; distinct
+    from any exception used for control flow in fixed-variable checking so
+    the two can never be conflated. *)
+
+exception Not_fixed
+(* Control flow of [check_fixed]'s environment lookup only. *)
+
 let all_vars s =
-  List.fold_left
-    (fun acc c -> List.fold_left (fun a v -> if List.mem v a then a else v :: a) acc (Expr.cond_vars c))
-    [] s.cons
-  |> List.sort compare
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  for i = 0 to s.ncons - 1 do
+    List.iter
+      (fun v ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          acc := v :: !acc
+        end)
+      (Expr.cond_vars s.cons.(i))
+  done;
+  List.sort compare !acc
 
 (* Check all constraints whose variables are fully fixed by the domains. *)
 let check_fixed s =
   let env i =
     let l, h = dom s i in
-    if l = h then l else raise Exit
+    if l = h then l else raise Not_fixed
   in
-  List.for_all
-    (fun c -> try Expr.eval_cond env c with Exit -> true | Expr.Symbolic_division_by_zero -> false)
-    s.cons
+  let rec go i =
+    i >= s.ncons
+    || (try Expr.eval_cond env s.cons.(i) with
+        | Not_fixed -> true
+        | Expr.Symbolic_division_by_zero -> false)
+       && go (i + 1)
+  in
+  go 0
 
 (** [solve ?budget s] searches for a concrete byte assignment satisfying
     every constraint in [s].  The search assigns variables smallest-domain
-    first and verifies the final assignment by concrete evaluation. *)
+    first, backtracking via the trail, and verifies the final assignment by
+    concrete evaluation.  The store's domains are restored on return. *)
 let solve ?(budget = 200_000) (s : store) : solve_result =
   let nodes = ref 0 in
-  let vars = all_vars s in
+  let vars = List.filter (fun v -> v >= 0) (all_vars s) in
   let exception Found of model in
-  let rec go (st : store) remaining =
+  let rec go remaining =
     incr nodes;
-    if !nodes > budget then raise Exit;
+    if !nodes > budget then raise Budget_exceeded;
     (* Select the unfixed variable with the smallest domain. *)
     let unfixed =
       List.filter_map
         (fun v ->
-          let l, h = dom st v in
+          let l, h = dom s v in
           if l = h then None else Some (v, h - l))
         remaining
     in
     match unfixed with
     | [] ->
-        if check_fixed st then begin
+        if check_fixed s then begin
           let m = Hashtbl.create 16 in
           List.iter
             (fun v ->
-              let l, _ = dom st v in
+              let l, _ = dom s v in
               Hashtbl.replace m v l)
             vars;
           raise (Found m)
@@ -285,27 +487,31 @@ let solve ?(budget = 200_000) (s : store) : solve_result =
         let v, _ = List.fold_left (fun (bv, bw) (v, w) -> if w < bw then (v, w) else (bv, bw))
             (List.hd unfixed) (List.tl unfixed)
         in
-        let l, h = dom st v in
-        let try_value x =
-          let st' = copy st in
-          set_dom st' v (x, x);
-          match (try propagate st'; true with Unsat_exn -> false) with
-          | true -> go st' remaining
-          | false -> ()
-        in
+        let l, h = dom s v in
         (* Ascending scan is fine: domains are at most 256 wide. *)
         for x = l to h do
-          try_value x
+          let m0 = mark s in
+          (match (try set_dom s v (x, x); propagate s; true with Unsat_exn -> false) with
+          | true -> go remaining
+          | false -> ());
+          undo_to s m0
         done
   in
-  try
-    (try propagate s with Unsat_exn -> raise Not_found);
-    go s vars;
-    Unsat_result
-  with
-  | Found m -> Sat m
-  | Exit -> Unknown
-  | Not_found -> Unsat_result
+  let was = s.trailing in
+  s.trailing <- true;
+  let m0 = mark s in
+  let r =
+    try
+      go vars;
+      Unsat_result
+    with
+    | Found m -> Sat m
+    | Budget_exceeded -> Unknown
+    | Unsat_exn -> Unsat_result
+  in
+  undo_to s m0;
+  s.trailing <- was;
+  r
 
 (** [sat ?budget s extra] checks satisfiability of [s] plus the extra
     constraints without mutating [s]. *)

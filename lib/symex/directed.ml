@@ -85,7 +85,8 @@ let loop_heads (prog : Isa.program) : (string, (int, unit) Hashtbl.t) Hashtbl.t 
     prog.funcs;
   per_fn
 
-let run_once ~(config : config) ~(cfg : Cfg.t) ~(iters : (string * int, int) Hashtbl.t)
+let run_once ~(config : config) ~(distance : string -> int -> int)
+    ~(iters : (string * int, int) Hashtbl.t)
     ~(heads : (string, (int, unit) Hashtbl.t) Hashtbl.t)
     ~(on_ep : Sym_state.t -> count:int -> args:Expr.t list -> file_pos:int -> ep_action)
     ~(stats : stats) (prog : Isa.program) ~(ep : string) ~sym_file_size : attempt =
@@ -132,8 +133,8 @@ let run_once ~(config : config) ~(cfg : Cfg.t) ~(iters : (string * int, int) Has
               else ((not continue_dir), true)
             else begin
               (* Distance policy: smaller distance to the next ep entry wins. *)
-              let dt = Cfg.distance cfg br.br_func br.br_taken_pc in
-              let df = Cfg.distance cfg br.br_func br.br_fall_pc in
+              let dt = distance br.br_func br.br_taken_pc in
+              let df = distance br.br_func br.br_fall_pc in
               ((dt <= df), false)
             end
           in
@@ -167,10 +168,14 @@ let run ?(config = default_config) ?(sym_file_size = Sym_state.default_sym_file_
   else begin
     let iters : (string * int, int) Hashtbl.t = Hashtbl.create 16 in
     let heads = loop_heads prog in
+    (* One memoized distance lookup shared by every loop-retry attempt:
+       retries re-walk the same prefix and re-query the same (func, pc)
+       pairs at each branch. *)
+    let distance = Cfg.distance_fn cfg in
     let rec attempt n =
       if n >= config.max_runs then Failed (Budget_exhausted "loop retries")
       else
-        match run_once ~config ~cfg ~iters ~heads ~on_ep ~stats prog ~ep ~sym_file_size with
+        match run_once ~config ~distance ~iters ~heads ~on_ep ~stats prog ~ep ~sym_file_size with
         | A_reached st -> Reached st
         | A_conflict k -> Failed (Constraint_conflict k)
         | A_steps -> Failed (Budget_exhausted "symbolic steps")

@@ -197,11 +197,13 @@ and branch = {
 
 (** [take_branch t br ~taken] commits a direction at a symbolic branch,
     adding the corresponding constraint.  Returns [false] if that direction
-    is unsatisfiable. *)
+    is unsatisfiable — in which case the store is left exactly as it was
+    (the probe is retracted via the solver trail), so the caller can try
+    the other direction on a clean store. *)
 let take_branch t (br : branch) ~taken =
   let fr = current t in
   let c = if taken then br.br_cond else Expr.negate br.br_cond in
-  match Solve.add t.store c with
+  match Solve.add_checked t.store c with
   | Solve.Unsat -> false
   | Solve.Ok ->
       fr.pc <- (if taken then br.br_taken_pc else br.br_fall_pc);

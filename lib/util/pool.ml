@@ -1,0 +1,126 @@
+(** A small fixed-size worker pool over OCaml 5 domains.
+
+    Built for corpus-level parallelism: verifying hundreds of (S, T) pairs
+    is embarrassingly parallel, each job being CPU-bound and touching only
+    its own state.  The pool spawns [jobs] domains once and feeds them
+    through a mutex-guarded queue, so batch after batch reuses the same
+    domains instead of paying spawn cost per task.
+
+    Jobs must not share mutable state unless they synchronize themselves;
+    the pipeline satisfies this because every [Octopocs.run] builds its own
+    stores, states and memories (the one shared structure, the CFG build
+    cache, takes its own lock). *)
+
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  q : task Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  while Queue.is_empty pool.q && not pool.closed do
+    Condition.wait pool.nonempty pool.lock
+  done;
+  if Queue.is_empty pool.q then Mutex.unlock pool.lock (* closed and drained *)
+  else begin
+    let task = Queue.pop pool.q in
+    Mutex.unlock pool.lock;
+    (try task () with _ -> ());
+    worker_loop pool
+  end
+
+(** [effective_jobs n] clamps a requested worker count to what the machine
+    can actually run in parallel.  Oversubscribing domains is a measured
+    pessimization for allocation-heavy work — minor collections are
+    stop-the-world across all domains, so extra domains on the same core
+    multiply GC synchronizations without adding compute. *)
+let effective_jobs n = max 1 (min n (Domain.recommended_domain_count ()))
+
+(** [create ~jobs] spawns a pool of [effective_jobs jobs] worker domains. *)
+let create ~jobs =
+  let jobs = effective_jobs jobs in
+  let pool =
+    {
+      jobs;
+      q = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+(** [submit pool task] enqueues a unit task.  Exceptions escaping the task
+    are swallowed by the worker; wrap the task if you need them. *)
+let submit pool task =
+  Mutex.lock pool.lock;
+  if pool.closed then begin
+    Mutex.unlock pool.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end
+  else begin
+    Queue.add task pool.q;
+    Condition.signal pool.nonempty;
+    Mutex.unlock pool.lock
+  end
+
+(** [shutdown pool] drains outstanding tasks and joins every worker. *)
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.closed <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.lock;
+  Array.iter Domain.join pool.workers;
+  pool.workers <- [||]
+
+(** [map pool f items] applies [f] to every item on the pool's workers and
+    returns the results in input order.  The first exception raised by any
+    [f] is re-raised in the caller once all items have settled. *)
+let map pool f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let out = Array.make n None in
+    let remaining = ref n in
+    let lock = Mutex.create () in
+    let all_done = Condition.create () in
+    Array.iteri
+      (fun i x ->
+        submit pool (fun () ->
+            let r = try Stdlib.Ok (f x) with e -> Stdlib.Error e in
+            Mutex.lock lock;
+            out.(i) <- Some r;
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast all_done;
+            Mutex.unlock lock))
+      arr;
+    Mutex.lock lock;
+    while !remaining > 0 do
+      Condition.wait all_done lock
+    done;
+    Mutex.unlock lock;
+    Array.to_list out
+    |> List.map (function
+         | Some (Stdlib.Ok v) -> v
+         | Some (Stdlib.Error e) -> raise e
+         | None -> assert false)
+  end
+
+(** [parallel_map ~jobs f items] is a one-shot [create]/[map]/[shutdown].
+    With an effective worker count of 1 it degrades to [List.map] with no
+    domain spawned. *)
+let parallel_map ~jobs f items =
+  if effective_jobs jobs <= 1 then List.map f items
+  else begin
+    let pool = create ~jobs in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> map pool f items)
+  end

@@ -191,6 +191,54 @@ let dynamic_mode_harmless_elsewhere () =
         (Octopocs.verdict_class b.verdict))
     [ 1; 8; 10; 12 ]
 
+(* ------------------------------------------------------------------ *)
+(* Worker pool and batch verification *)
+
+let pool_map_preserves_order () =
+  let items = List.init 37 (fun i -> i) in
+  let out = Octo_util.Pool.parallel_map ~jobs:4 (fun i -> i * i) items in
+  check Alcotest.(list int) "squares in order" (List.map (fun i -> i * i) items) out
+
+let pool_map_propagates_exception () =
+  let p = Octo_util.Pool.create ~jobs:2 in
+  Fun.protect
+    ~finally:(fun () -> Octo_util.Pool.shutdown p)
+    (fun () ->
+      match Octo_util.Pool.map p (fun i -> if i = 3 then failwith "boom" else i) [ 1; 2; 3 ] with
+      | exception Failure msg -> check Alcotest.string "exn forwarded" "boom" msg
+      | _ -> Alcotest.fail "expected Failure to propagate")
+
+let pool_reused_across_batches () =
+  let p = Octo_util.Pool.create ~jobs:2 in
+  Fun.protect
+    ~finally:(fun () -> Octo_util.Pool.shutdown p)
+    (fun () ->
+      for k = 1 to 5 do
+        let out = Octo_util.Pool.map p (fun i -> i + k) [ 1; 2; 3 ] in
+        check Alcotest.(list int) "batch result" [ 1 + k; 2 + k; 3 + k ] out
+      done)
+
+let run_all_matches_serial_verdicts () =
+  (* The parallel batch runner must produce exactly the verdict classes of
+     one-at-a-time runs, in input order. *)
+  let cases = List.filteri (fun i _ -> i < 5) Registry.all in
+  let batch =
+    List.map
+      (fun (c : Registry.case) ->
+        Octopocs.job ~label:(string_of_int c.idx) ~s:c.s ~t:c.t ~poc:c.poc ())
+      cases
+  in
+  let par = Octopocs.run_all ~jobs:4 batch in
+  List.iter2
+    (fun (c : Registry.case) (label, (r : Octopocs.report)) ->
+      check Alcotest.string "labels in order" (string_of_int c.idx) label;
+      let serial = Octopocs.run ~s:c.s ~t:c.t ~poc:c.poc () in
+      check Alcotest.string
+        (Printf.sprintf "pair %d verdict" c.idx)
+        (Octopocs.verdict_class serial.verdict)
+        (Octopocs.verdict_class r.verdict))
+    cases par
+
 let qcheck_tests =
   [
     QCheck.Test.make ~name:"Sel eval lies within Sel ival" ~count:200
@@ -219,5 +267,9 @@ let suite =
     tc "pipeline: dynamic CFG repairs Idx-15" dynamic_cfg_repairs_idx15;
     tc "pipeline: static mode reproduces the Failure" static_mode_still_fails_idx15;
     tc "pipeline: dynamic mode harmless elsewhere" dynamic_mode_harmless_elsewhere;
+    tc "pool: map preserves order" pool_map_preserves_order;
+    tc "pool: exceptions propagate" pool_map_propagates_exception;
+    tc "pool: reused across batches" pool_reused_across_batches;
+    tc "batch: run_all matches serial verdicts" run_all_matches_serial_verdicts;
   ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_tests

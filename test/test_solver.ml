@@ -187,6 +187,141 @@ let ival_native_overflow_safe () =
   check Alcotest.bool "value covered" true (lo <= v && v <= hi)
 
 (* ------------------------------------------------------------------ *)
+(* Narrowing edge cases *)
+
+(* Shl/Shr with a non-constant shift count must stay sound: no inversion is
+   known, so narrowing may only prune via feasibility, never tighten into a
+   wrong bound. *)
+let narrow_shl_symbolic_count () =
+  let s = Solve.create () in
+  let e = Expr.bin Shl (Expr.byte 0) (Expr.byte 1) in
+  (match add { Expr.rel = Eq; lhs = e; rhs = Expr.const 0x20 } s with
+  | Solve.Ok -> ()
+  | Solve.Unsat -> Alcotest.fail "b0 << b1 = 0x20 is satisfiable (8 << 2)");
+  match Solve.solve s with
+  | Solve.Sat m ->
+      check Alcotest.int "model evaluates" 0x20
+        (Expr.eval (Solve.model_byte m) e)
+  | _ -> Alcotest.fail "expected sat"
+
+let narrow_shr_symbolic_count () =
+  let s = Solve.create () in
+  let e = Expr.bin Shr (Expr.byte 0) (Expr.byte 1) in
+  ignore (add { Expr.rel = Eq; lhs = Expr.byte 1; rhs = Expr.const 3 } s);
+  (match add { Expr.rel = Eq; lhs = e; rhs = Expr.const 0x1F } s with
+  | Solve.Ok -> ()
+  | Solve.Unsat -> Alcotest.fail "b0 >> 3 = 0x1F is satisfiable (0xF8 >> 3)");
+  match Solve.solve s with
+  | Solve.Sat m -> check Alcotest.int "shifted" 0x1F (Solve.model_byte m 0 lsr 3)
+  | _ -> Alcotest.fail "expected sat"
+
+(* A Sel whose index interval extends past the table must keep 0 (the
+   out-of-range value) in its bounds and still narrow the index when the
+   wanted value only occurs in range. *)
+let sel_out_of_range_bounds () =
+  let s = Solve.create () in
+  let table = [| 10; 20; 30; 40 |] in
+  let lo, hi = Solve.ival s (Expr.Sel (table, Expr.byte 0)) in
+  check Alcotest.bool "covers OOB zero" true (lo <= 0);
+  check Alcotest.int "max of table" 40 hi;
+  ignore (add { Expr.rel = Eq; lhs = Expr.Sel (table, Expr.byte 0); rhs = Expr.const 30 } s);
+  match Solve.solve s with
+  | Solve.Sat m -> check Alcotest.int "index pinned" 2 (Solve.model_byte m 0)
+  | _ -> Alcotest.fail "expected sat"
+
+let sel_unsat_value_not_in_table () =
+  let s = Solve.create () in
+  let table = [| 1; 2; 3 |] in
+  ignore (add { Expr.rel = Lt; lhs = Expr.byte 0; rhs = Expr.const 3 } s);
+  match add { Expr.rel = Eq; lhs = Expr.Sel (table, Expr.byte 0); rhs = Expr.const 9 } s with
+  | Solve.Unsat -> ()
+  | Solve.Ok -> (
+      (* Narrowing may miss it; the search must not produce a bogus model. *)
+      match Solve.solve s with
+      | Solve.Sat _ -> Alcotest.fail "9 is not in the table"
+      | Solve.Unsat_result | Solve.Unknown -> ())
+
+(* The And-0xff masking rule: when the operand is already byte-sized the
+   mask is exact, so equality through the mask pins the byte. *)
+let and_ff_mask_narrows () =
+  let s = Solve.create () in
+  ignore
+    (add { Expr.rel = Eq;
+           lhs = Expr.bin And (Expr.byte 2) (Expr.const 0xff);
+           rhs = Expr.const 0x7E } s);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "pinned through mask" (0x7E, 0x7E)
+    (Solve.dom s 2)
+
+let and_ff_mask_wide_operand_sound () =
+  (* When the operand can exceed 0xff the rule must not fire with a wrong
+     bound; the constraint still solves by search. *)
+  let s = Solve.create () in
+  let wide = Expr.bin Add (Expr.byte 0) (Expr.const 0x100) in
+  ignore (add { Expr.rel = Eq; lhs = Expr.bin And wide (Expr.const 0xff); rhs = Expr.const 5 } s);
+  match Solve.solve s with
+  | Solve.Sat m -> check Alcotest.int "low byte" 5 (Solve.model_byte m 0)
+  | _ -> Alcotest.fail "expected sat"
+
+(* Trail/backtracking invariants of the rewritten engine. *)
+let add_checked_restores_store () =
+  let s = Solve.create () in
+  ignore (add { Expr.rel = Le; lhs = Expr.byte 0; rhs = Expr.const 10 } s);
+  let before = Solve.dom s 0 in
+  let n_before = List.length (Solve.constraints s) in
+  (match Solve.add_checked s { Expr.rel = Gt; lhs = Expr.byte 0; rhs = Expr.const 10 } with
+  | Solve.Unsat -> ()
+  | Solve.Ok -> Alcotest.fail "contradiction must be Unsat");
+  check (Alcotest.pair Alcotest.int Alcotest.int) "domain restored" before (Solve.dom s 0);
+  check Alcotest.int "constraint retracted" n_before (List.length (Solve.constraints s));
+  (* The clean store must still accept the other direction. *)
+  match Solve.add_checked s { Expr.rel = Le; lhs = Expr.byte 0; rhs = Expr.const 5 } with
+  | Solve.Ok -> check Alcotest.int "narrowed" 5 (snd (Solve.dom s 0))
+  | Solve.Unsat -> Alcotest.fail "fallback direction must be sat"
+
+let solve_restores_domains () =
+  let s = Solve.create () in
+  ignore (add { Expr.rel = Le; lhs = Expr.byte 0; rhs = Expr.const 200 } s);
+  ignore (add { Expr.rel = Lt; lhs = Expr.byte 1; rhs = Expr.byte 0 } s);
+  let d0 = Solve.dom s 0 and d1 = Solve.dom s 1 in
+  (match Solve.solve s with Solve.Sat _ -> () | _ -> Alcotest.fail "expected sat");
+  check (Alcotest.pair Alcotest.int Alcotest.int) "dom 0 untouched" d0 (Solve.dom s 0);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "dom 1 untouched" d1 (Solve.dom s 1)
+
+(* Regression: the indexed-store rewrite must return the exact models the
+   assoc-list engine produced on these seed constraint sets (captured from
+   commit 8c76129).  Identical search order (ascending values, smallest
+   domain first) plus identical propagation fixpoints imply identical
+   models, so any divergence here means the engine changed semantics. *)
+let seed_model_regression () =
+  let expect name s want =
+    match Solve.solve s with
+    | Solve.Sat m ->
+        List.iter
+          (fun (v, x) ->
+            check Alcotest.int (Printf.sprintf "%s: byte %d" name v) x (Solve.model_byte m v))
+          want
+    | _ -> Alcotest.failf "%s: expected sat" name
+  in
+  let s = Solve.create () in
+  let w = Expr.bin Or (Expr.byte 0) (Expr.bin Shl (Expr.byte 1) (Expr.const 8)) in
+  ignore (add { Expr.rel = Eq; lhs = w; rhs = Expr.const 0x8000 } s);
+  expect "le16" s [ (0, 0); (1, 128) ];
+  let s = Solve.create () in
+  ignore (add { Expr.rel = Eq; lhs = Expr.bin Add (Expr.byte 0) (Expr.byte 1); rhs = Expr.const 300 } s);
+  ignore (add { Expr.rel = Lt; lhs = Expr.byte 2; rhs = Expr.byte 0 } s);
+  expect "sum" s [ (0, 45); (1, 255); (2, 0) ];
+  let s = Solve.create () in
+  ignore (add { Expr.rel = Eq; lhs = Expr.bin And (Expr.byte 3) (Expr.const 0xff); rhs = Expr.const 0x41 } s);
+  ignore (add { Expr.rel = Ge; lhs = Expr.byte 4; rhs = Expr.const 250 } s);
+  ignore (add { Expr.rel = Ne; lhs = Expr.byte 4; rhs = Expr.const 250 } s);
+  expect "mask" s [ (3, 65); (4, 251) ];
+  let s = Solve.create () in
+  ignore (add { Expr.rel = Lt; lhs = Expr.byte 0; rhs = Expr.byte 1 } s);
+  ignore (add { Expr.rel = Lt; lhs = Expr.byte 1; rhs = Expr.byte 2 } s);
+  ignore (add { Expr.rel = Le; lhs = Expr.byte 2; rhs = Expr.const 2 } s);
+  expect "chain" s [ (0, 0); (1, 1); (2, 2) ]
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 
 let gen_expr =
@@ -270,6 +405,15 @@ let suite =
     tc "solve: cross-variable ordering" solve_cross_var;
     tc "solve: empty store" solve_empty_store;
     tc "solve: arithmetic sum" solve_arith_sum;
+    tc "narrow: shl with symbolic count" narrow_shl_symbolic_count;
+    tc "narrow: shr with symbolic count" narrow_shr_symbolic_count;
+    tc "sel: out-of-range index bounds" sel_out_of_range_bounds;
+    tc "sel: value not in table" sel_unsat_value_not_in_table;
+    tc "narrow: and-0xff mask pins byte" and_ff_mask_narrows;
+    tc "narrow: and-0xff wide operand sound" and_ff_mask_wide_operand_sound;
+    tc "store: add_checked restores on unsat" add_checked_restores_store;
+    tc "solve: domains restored after search" solve_restores_domains;
+    tc "solve: seed model regression" seed_model_regression;
     tc "ival: and-mask bounds" ival_masking;
     tc "ival: wrap widens to top" ival_mul_wrap_top;
     tc "ival: shift count masked (regression)" ival_shift_count_masked;
