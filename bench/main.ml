@@ -6,7 +6,10 @@
    - Table III: context-aware vs context-free taint analysis (pairs 1-9)
    - Table IV : naive vs directed symbolic execution (pairs 7-9)
    - Table V  : AFLFast / AFLGo / OCTOPOCS elapsed time (pairs 7-9)
-   - micro    : Bechamel micro-benchmarks, one per table's core operation *)
+   - micro    : Bechamel micro-benchmarks, one per table's core operation
+   - chaos    : resilience harness — the 15-pair batch under N seeded
+                fault-injection schedules (only when named explicitly;
+                options: --schedules N, --chaos-seed S) *)
 
 module Registry = Octo_targets.Registry
 module Taint = Octo_taint.Taint
@@ -18,6 +21,7 @@ module Aflfast = Octo_fuzz.Aflfast
 module Aflgo = Octo_fuzz.Aflgo
 module F = Octo_formats.Formats
 module B = Octo_util.Bytes_util
+module Faultinject = Octo_util.Faultinject
 
 let say fmt = Format.printf (fmt ^^ "@.")
 let hr () = say "%s" (String.make 78 '-')
@@ -461,8 +465,97 @@ let bench_json () =
   close_out oc;
   say "wrote BENCH_solver.json"
 
+(* ------------------------------------------------------------------ *)
+
+(* Chaos harness: run the full 15-pair batch under [schedules] seeded
+   fault-injection schedules.  Every schedule gets one derived seed; every
+   pair gets one independent injector derived from that seed and the pair
+   index, so the fault pattern is a pure function of (master seed, schedule,
+   pair) — in particular it does not depend on which worker domain picks up
+   which job.  Each schedule is run twice on fresh injectors and the two
+   verdict tables must agree byte-for-byte; any incomplete batch, label
+   disorder or divergence counts as a violation. *)
+
+let chaos ~schedules ~seed () =
+  say "";
+  say "CHAOS: 15-pair batch under deterministic fault injection";
+  say "(%d schedule(s), master seed %d, sites: vm-syscall solver-budget" schedules seed;
+  say " worker-crash deadline-expiry; 4 worker domains, 1 retry, 30s deadline)";
+  hr ();
+  let npairs = List.length Registry.all in
+  let violations = ref 0 in
+  let violate fmt = Printf.ksprintf (fun m -> incr violations; say "  VIOLATION: %s" m) fmt in
+  for sched = 0 to schedules - 1 do
+    let sched_seed = seed + (sched * 7919) in
+    (* Injector streams are mutable and advance as sites draw, so every
+       repetition needs a fresh batch: determinism is seed-to-verdicts, not
+       object-reuse. *)
+    let fresh_batch () =
+      List.map
+        (fun (c : Registry.case) ->
+          let inject =
+            Faultinject.create ~rate:0.0
+              ~site_rates:
+                [
+                  (Faultinject.Vm_syscall, 0.0005);
+                  (Faultinject.Solver_budget, 0.05);
+                  (Faultinject.Worker_crash, 0.05);
+                  (Faultinject.Deadline_expiry, 0.02);
+                ]
+              ~seed:(sched_seed lxor (c.idx * 0x9E3779B9)) ()
+          in
+          let config =
+            { Octopocs.default_config with inject; deadline_s = Some 30.0 }
+          in
+          Octopocs.job ~config ~label:(string_of_int c.idx) ~s:c.s ~t:c.t ~poc:c.poc ())
+        Registry.all
+    in
+    let snapshot () =
+      Octopocs.run_all ~jobs:4 ~retries:1 (fresh_batch ())
+      |> List.map (fun (label, (r : Octopocs.report)) ->
+             (label, Octopocs.verdict_class r.verdict, r.degradations))
+    in
+    let a = snapshot () in
+    let b = snapshot () in
+    if List.length a <> npairs then
+      violate "schedule %d: %d/%d reports returned" sched (List.length a) npairs;
+    List.iteri
+      (fun i (label, _, _) ->
+        let want = string_of_int (i + 1) in
+        if label <> want then
+          violate "schedule %d: report %d labelled %s (want %s)" sched i label want)
+      a;
+    if a <> b then violate "schedule %d: verdicts differ between identical replays" sched;
+    let cell (label, cls, degr) =
+      let short =
+        match cls with
+        | "Type-I" -> "I"
+        | "Type-II" -> "II"
+        | "Type-III" -> "III"
+        | _ -> "F"
+      in
+      Printf.sprintf "%s:%s%s" label short (if degr = [] then "" else "+")
+    in
+    say "schedule %2d (seed %11d): %s" sched sched_seed (String.concat " " (List.map cell a))
+  done;
+  hr ();
+  say "legend: pair:<class>, '+' = degradation rung(s) climbed, F = Failure";
+  say "chaos: %d schedule(s) x2 replays, %d violation(s)" schedules !violations;
+  !violations
+
+(* ------------------------------------------------------------------ *)
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_opts modes opts = function
+    | [] -> (List.rev modes, List.rev opts)
+    | ("--schedules" | "--chaos-seed") :: ([] as rest) | "--schedules" :: ("--chaos-seed" :: _ as rest)
+      -> failwith ("missing value for option before " ^ String.concat " " rest)
+    | (("--schedules" | "--chaos-seed") as k) :: v :: rest ->
+        split_opts modes ((k, int_of_string v) :: opts) rest
+    | a :: rest -> split_opts (a :: modes) opts rest
+  in
+  let args, opts = split_opts [] [] (List.tl (Array.to_list Sys.argv)) in
+  let opt k d = match List.assoc_opt k opts with Some v -> v | None -> d in
   let want name = args = [] || List.mem name args in
   if want "table2" then table2 ();
   if want "table3" then table3 ();
@@ -471,5 +564,11 @@ let () =
   if want "ablations" then ablations ();
   if want "micro" then micro ();
   if List.mem "bench" args then bench_json ();
+  let chaos_violations =
+    if List.mem "chaos" args then
+      chaos ~schedules:(opt "--schedules" 8) ~seed:(opt "--chaos-seed" 42) ()
+    else 0
+  in
   say "";
-  say "done."
+  say "done.";
+  if chaos_violations > 0 then exit 1

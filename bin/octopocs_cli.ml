@@ -5,19 +5,41 @@
      verify-all       run all 15 pairs (optionally in parallel with --jobs)
                       and print the Table II summary
      inspect <idx>    show the pair's programs, PoC hexdump and ℓ
-     fuzz <idx>       run the AFLFast baseline on the pair's T binary *)
+     fuzz <idx>       run the AFLFast baseline on the pair's T binary
+
+   Exit codes of [verify] report the verdict, not the paper-match status:
+     0 = Triggered, 1 = Not_triggerable, 2 = Failure, 3 = tool crash.
+   [verify-all] keeps 0 = all pairs match the paper / 1 = some mismatch,
+   with 3 still reserved for a crash of the tool itself. *)
 
 open Cmdliner
 module Registry = Octo_targets.Registry
 module B = Octo_util.Bytes_util
+module Faultinject = Octo_util.Faultinject
 
 let say fmt = Format.printf (fmt ^^ "@.")
 
-let run_one ?(dynamic = false) idx =
+(* Per-pair pipeline configuration from the shared robustness flags.  The
+   chaos seed derives one independent injector per pair (splitmix64 mixing
+   of the pair index), so a batch's fault schedule does not depend on which
+   worker domain picks up which job. *)
+let config_for ?(dynamic = false) ~deadline ~chaos_seed idx =
+  let inject =
+    match chaos_seed with
+    | None -> Faultinject.none
+    | Some seed -> Faultinject.create ~seed:(seed lxor (idx * 0x9E3779B9)) ()
+  in
+  { Octopocs.default_config with dynamic_cfg = dynamic; deadline_s = deadline; inject }
+
+let pp_degradations (r : Octopocs.report) =
+  if r.degradations <> [] then
+    say "  degraded: %s" (String.concat " -> " r.degradations)
+
+let run_one ?(dynamic = false) ?deadline ?chaos_seed idx : Octopocs.report =
   let c = Registry.find idx in
   say "Pair %d: S=%s(%s)  T=%s(%s)  %s [%s]" c.idx c.s.pname c.s_version c.t.pname c.t_version
     c.vuln_id c.cwe;
-  let config = { Octopocs.default_config with dynamic_cfg = dynamic } in
+  let config = config_for ~dynamic ~deadline ~chaos_seed idx in
   let r = Octopocs.run ~config ~s:c.s ~t:c.t ~poc:c.poc () in
   say "  ep      : %s" r.ep;
   say "  ℓ       : %s" (String.concat ", " r.ell);
@@ -33,13 +55,36 @@ let run_one ?(dynamic = false) idx =
   | None -> ());
   say "  verdict : %a  (expected %s)" Octopocs.pp_verdict r.verdict
     (Registry.expected_to_string c.expected);
+  pp_degradations r;
   say "  elapsed : %.3fs" r.elapsed_s;
   (match r.verdict with
   | Octopocs.Triggered { poc'; _ } -> say "  poc' hexdump:@.%s" (B.hexdump poc')
   | _ -> ());
   let got = Octopocs.verdict_class r.verdict in
   let want = Registry.expected_to_string c.expected in
-  if got = want then (say "  MATCH"; 0) else (say "  MISMATCH (%s vs %s)" got want; 1)
+  if got = want then say "  MATCH" else say "  MISMATCH (%s vs %s)" got want;
+  r
+
+let verdict_exit (r : Octopocs.report) =
+  match r.verdict with
+  | Octopocs.Triggered _ -> 0
+  | Octopocs.Not_triggerable _ -> 1
+  | Octopocs.Failure _ -> 2
+
+let matches (c : Registry.case) (r : Octopocs.report) =
+  Octopocs.verdict_class r.verdict = Registry.expected_to_string c.expected
+
+(* Shared robustness flags. *)
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"SECS"
+           ~doc:"Wall-clock budget per pair; expiry yields a Failure verdict, never a hang.")
+
+let chaos_seed_arg =
+  Arg.(value & opt (some int) None
+       & info [ "chaos-seed" ] ~docv:"SEED"
+           ~doc:"Enable deterministic fault injection, deriving one independent \
+                 fault stream per pair from $(docv).")
 
 let verify_cmd =
   let idx = Arg.(required & pos 0 (some int) None & info [] ~docv:"IDX") in
@@ -49,12 +94,18 @@ let verify_cmd =
              ~doc:"Repair CFG-recovery failures with dynamic devirtualization")
   in
   Cmd.v (Cmd.info "verify" ~doc:"Verify one Table II pair")
-    Term.(const (fun dynamic idx -> run_one ~dynamic idx) $ dynamic $ idx)
+    Term.(const (fun dynamic deadline chaos_seed idx ->
+              verdict_exit (run_one ~dynamic ?deadline ?chaos_seed idx))
+          $ dynamic $ deadline_arg $ chaos_seed_arg $ idx)
 
-let run_all jobs =
-  if jobs <= 1 then begin
+let run_all jobs retries deadline chaos_seed =
+  if jobs <= 1 && retries = 0 then begin
     let failures =
-      List.fold_left (fun acc (c : Registry.case) -> acc + run_one c.idx) 0 Registry.all
+      List.fold_left
+        (fun acc (c : Registry.case) ->
+          let r = run_one ?deadline ?chaos_seed c.idx in
+          if matches c r then acc else acc + 1)
+        0 Registry.all
     in
     say "%d/%d pairs match the paper's verdicts" (List.length Registry.all - failures)
       (List.length Registry.all);
@@ -62,15 +113,17 @@ let run_all jobs =
   end
   else begin
     (* Parallel batch: verify on a fixed pool of worker domains, then print
-       the summary in registry order. *)
+       the summary in registry order.  Each job carries its own config so
+       fault streams stay per-pair. *)
     let t0 = Unix.gettimeofday () in
     let batch =
       List.map
         (fun (c : Registry.case) ->
-          Octopocs.job ~label:(string_of_int c.idx) ~s:c.s ~t:c.t ~poc:c.poc ())
+          let config = config_for ~deadline ~chaos_seed c.idx in
+          Octopocs.job ~config ~label:(string_of_int c.idx) ~s:c.s ~t:c.t ~poc:c.poc ())
         Registry.all
     in
-    let results = Octopocs.run_all ~jobs batch in
+    let results = Octopocs.run_all ~jobs ~retries batch in
     let elapsed = Unix.gettimeofday () -. t0 in
     let failures =
       List.fold_left2
@@ -78,10 +131,12 @@ let run_all jobs =
           assert (label = string_of_int c.idx);
           let got = Octopocs.verdict_class r.verdict in
           let want = Registry.expected_to_string c.expected in
-          say "Pair %-3s %-22s -> %-40s %s" label
+          say "Pair %-3s %-22s -> %-40s %s%s" label
             (Printf.sprintf "%s/%s" c.s.pname c.t.pname)
             (Fmt.str "%a" Octopocs.pp_verdict r.verdict)
-            (if got = want then "MATCH" else Printf.sprintf "MISMATCH (want %s)" want);
+            (if got = want then "MATCH" else Printf.sprintf "MISMATCH (want %s)" want)
+            (if r.degradations = [] then ""
+             else Printf.sprintf "  [degraded: %s]" (String.concat " -> " r.degradations));
           if got = want then acc else acc + 1)
         0 Registry.all results
     in
@@ -99,7 +154,14 @@ let verify_all_cmd =
          & info [ "j"; "jobs" ] ~docv:"N"
              ~doc:"Verify pairs in parallel on $(docv) worker domains (default 1: serial).")
   in
-  Cmd.v (Cmd.info "verify-all" ~doc:"Verify all 15 pairs") Term.(const run_all $ jobs)
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry a crashed pair $(docv) extra times before recording \
+                   its worker-crash Failure (default 0).")
+  in
+  Cmd.v (Cmd.info "verify-all" ~doc:"Verify all 15 pairs")
+    Term.(const run_all $ jobs $ retries $ deadline_arg $ chaos_seed_arg)
 
 let inspect idx =
   let c = Registry.find idx in
@@ -136,5 +198,15 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc:"Run the AFLFast baseline on a pair's T") Term.(const fuzz $ idx)
 
 let () =
+  (* Pool/worker diagnostics (swallowed task exceptions, retry notices) go
+     through Logs; without a reporter they would be invisible. *)
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Warning);
   let info = Cmd.info "octopocs" ~doc:"Verify propagated vulnerable code with reformed PoCs" in
-  exit (Cmd.eval' (Cmd.group info [ verify_cmd; verify_all_cmd; inspect_cmd; fuzz_cmd ]))
+  (* ~catch:false so an unexpected exception maps to the documented tool-
+     crash exit code instead of cmdliner's 125. *)
+  match Cmd.eval' ~catch:false (Cmd.group info [ verify_cmd; verify_all_cmd; inspect_cmd; fuzz_cmd ]) with
+  | code -> exit code
+  | exception e ->
+      Format.eprintf "octopocs: tool crash: %s@." (Printexc.to_string e);
+      exit 3

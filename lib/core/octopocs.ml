@@ -27,6 +27,8 @@ module Cfg = Octo_cfg.Cfg
 module Directed = Octo_symex.Directed
 module Sym_state = Octo_symex.Sym_state
 module Clone = Octo_clone.Clone
+module Deadline = Octo_util.Deadline
+module Faultinject = Octo_util.Faultinject
 
 type not_triggerable_reason =
   | Ep_not_called           (** verification case (ii) *)
@@ -51,6 +53,11 @@ type report = {
   bunches : Taint.bunch list;
   taint : Taint.result option;
   symex : Directed.stats option;
+  degradations : string list;
+      (** every degradation rung the pipeline climbed to produce this
+          verdict, in the order applied: ["dynamic-cfg"], ["symex-escalate"],
+          ["symex-escalate"; "sym-file-degrade"], ...  Empty for a clean
+          first-attempt run. *)
   elapsed_s : float;
 }
 
@@ -148,6 +155,20 @@ type config = {
           replay T on the PoC, record indirect-call targets, and
           devirtualize ({!Octo_cfg.Devirt}) before retrying.  Off by
           default to reproduce the paper's Failure row. *)
+  deadline_s : float option;
+      (** wall-clock budget for one [run], enforced cooperatively at
+          VM-step / symex-step / solver-node granularity.  [None] (default)
+          never expires; expiry yields [Failure "deadline exceeded: ..."],
+          never an escaped exception. *)
+  ladder : bool;
+      (** climb the degradation ladder on rescuable failures (budget or
+          deadline exhaustion): retry with escalated symex budgets, then
+          with a degraded symbolic file size.  On by default — no registry
+          pair needs rescuing at default budgets, so Table II is
+          unchanged. *)
+  inject : Faultinject.t;
+      (** deterministic fault injector for the chaos harness;
+          {!Faultinject.none} (default) costs one tag test per site. *)
 }
 
 let default_config =
@@ -159,19 +180,45 @@ let default_config =
     max_steps = Interp.default_max_steps;
     solver_budget = 400_000;
     dynamic_cfg = false;
+    deadline_s = None;
+    ladder = true;
+    inject = Faultinject.none;
   }
 
-(** [run ?config ?ell ~s ~t ~poc ()] executes the full pipeline.
+(** [failure_report msg] is the minimal report for a failure that happened
+    outside (or instead of) the pipeline proper — a crashed worker, an
+    exceeded deadline, an injected fault. *)
+let failure_report ?(degradations = []) msg =
+  {
+    verdict = Failure msg;
+    ep = "";
+    ell = [];
+    bunches = [];
+    taint = None;
+    symex = None;
+    degradations;
+    elapsed_s = 0.0;
+  }
 
-    ℓ defaults to the clone-detection result of {!Clone.shared_functions};
-    pass [?ell] to override (the paper assumes ℓ is an input).  The report
-    always carries whatever intermediate artifacts were produced, so failed
-    runs remain debuggable. *)
-let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(poc : string) ()
-    : report =
+(* One full pipeline pass under a fixed configuration and deadline.  The
+   public {!run} wraps this with deadline construction, exception
+   containment and the degradation ladder. *)
+let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.program)
+    ~(t : Isa.program) ~(poc : string) () : report =
   let t_start = Unix.gettimeofday () in
+  let inject = config.inject in
+  let degraded = ref [] in
   let finish verdict ~ep ~ell ~bunches ~taint ~symex =
-    { verdict; ep; ell; bunches; taint; symex; elapsed_s = Unix.gettimeofday () -. t_start }
+    {
+      verdict;
+      ep;
+      ell;
+      bunches;
+      taint;
+      symex;
+      degradations = List.rev !degraded;
+      elapsed_s = Unix.gettimeofday () -. t_start;
+    }
   in
   let ell =
     match ell with
@@ -183,7 +230,8 @@ let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(
       ~symex:None
   else begin
     (* Preprocessing: crash S, pick ep from the backtrace. *)
-    let s_run = Interp.run ~max_steps:config.max_steps s ~input:poc in
+    Faultinject.maybe_raise inject Faultinject.Deadline_expiry ~what:"preprocessing";
+    let s_run = Interp.run ~max_steps:config.max_steps ~deadline ~inject s ~input:poc in
     match s_run.outcome with
     | Interp.Exited _ ->
         finish (Failure "poc does not crash S") ~ep:"" ~ell ~bunches:[] ~taint:None ~symex:None
@@ -194,6 +242,7 @@ let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(
               ~taint:None ~symex:None
         | Some ep -> (
             (* P1: crash-primitive extraction. *)
+            Deadline.check deadline ~what:"taint analysis";
             let taint_res =
               Taint.extract ~mode:config.taint_mode ~granularity:config.taint_granularity s
                 ~poc ~ep
@@ -217,7 +266,9 @@ let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(
                       let observed = Octo_cfg.Dyncfg.observe t ~seeds:[ poc ] in
                       let t' = Octo_cfg.Devirt.apply t ~observed in
                       match Cfg.build_cached t' ~ep with
-                      | cfg -> Ok (t', cfg)
+                      | cfg ->
+                          degraded := "dynamic-cfg" :: !degraded;
+                          Ok (t', cfg)
                       | exception Cfg.Cfg_error msg2 ->
                           Error (msg ^ "; dynamic CFG also failed: " ^ msg2)
                     end
@@ -233,9 +284,11 @@ let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(
                   else begin
                     (* P2 + P3: directed symbolic execution with bunch
                        placement at every ep entry. *)
+                    Faultinject.maybe_raise inject Faultinject.Deadline_expiry
+                      ~what:"directed symbolic execution";
                     let outcome, stats =
                       Directed.run ~config:config.symex ~sym_file_size:config.sym_file_size
-                        t_sym ~ep ~cfg ~on_ep:(place_bunches bunches)
+                        ~deadline t_sym ~ep ~cfg ~on_ep:(place_bunches bunches)
                     in
                     let symex = Some stats in
                     match outcome with
@@ -252,7 +305,7 @@ let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(
                         finish (Failure ("symbolic execution budget exhausted: " ^ what)) ~ep
                           ~ell ~bunches ~taint:(Some taint_res) ~symex
                     | Directed.Reached st -> (
-                        match Solve.solve ~budget:config.solver_budget st.store with
+                        match Solve.solve ~budget:config.solver_budget ~deadline ~inject st.store with
                         | Solve.Unsat_result ->
                             finish (Not_triggerable Unsat_model) ~ep ~ell ~bunches
                               ~taint:(Some taint_res) ~symex
@@ -261,13 +314,21 @@ let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(
                               ~bunches ~taint:(Some taint_res) ~symex
                         | Solve.Sat model ->
                             (* P4: verification. *)
+                            Faultinject.maybe_raise inject Faultinject.Deadline_expiry
+                              ~what:"verification";
                             let poc' = poc_of_model model ~length:st.max_read_off in
-                            let t_run = Interp.run ~max_steps:config.max_steps t ~input:poc' in
+                            let t_run =
+                              Interp.run ~max_steps:config.max_steps ~deadline ~inject t
+                                ~input:poc'
+                            in
                             if Interp.crash_in t_run ~funcs:ell then begin
                               (* Type-I iff the original poc already works
                                  on T (its guiding input needed no
                                  reform). *)
-                              let orig = Interp.run ~max_steps:config.max_steps t ~input:poc in
+                              let orig =
+                                Interp.run ~max_steps:config.max_steps ~deadline ~inject t
+                                  ~input:poc
+                              in
                               let ptype =
                                 if Interp.crash_in orig ~funcs:ell then Type_I else Type_II
                               in
@@ -283,6 +344,98 @@ let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(
   end
 
 (* ------------------------------------------------------------------ *)
+(* Degradation ladder. *)
+
+(* A failure is rescuable when a retry with more budget (or less symbolic
+   surface) could plausibly change the verdict.  Semantic failures — no
+   shared code, PoC does not crash S, CFG recovery failed, poc' did not
+   reproduce — are facts about the pair, not about resource limits, and are
+   returned as-is. *)
+let rescuable_failure msg =
+  let pre p = String.length msg >= String.length p && String.sub msg 0 (String.length p) = p in
+  pre "symbolic execution budget exhausted"
+  || pre "deadline exceeded"
+  || pre "constraint solver budget exhausted"
+
+(* The rungs, mildest first.  Escalation multiplies every symex budget;
+   degradation additionally shrinks the symbolic file (fewer symbolic bytes
+   = smaller constraint stores and cheaper model search) while keeping the
+   escalated budgets. *)
+let ladder_rungs (config : config) : (string * config) list =
+  let sx = config.symex in
+  let escalated =
+    {
+      config with
+      symex =
+        {
+          Directed.theta = sx.theta * 4;
+          max_runs = sx.max_runs * 8;
+          max_steps = sx.max_steps * 4;
+        };
+    }
+  in
+  [
+    ("symex-escalate", escalated);
+    ("sym-file-degrade", { escalated with sym_file_size = max 256 (config.sym_file_size / 4) });
+  ]
+
+(** [run ?config ?ell ~s ~t ~poc ()] executes the full pipeline.
+
+    ℓ defaults to the clone-detection result of {!Clone.shared_functions};
+    pass [?ell] to override (the paper assumes ℓ is an input).  The report
+    always carries whatever intermediate artifacts were produced, so failed
+    runs remain debuggable.
+
+    Robustness contract: this function does not raise.  A deadline expiry
+    or an injected fault becomes [Failure "deadline exceeded: ..."] /
+    [Failure "injected fault: ..."].  When [config.ladder] is on, rescuable
+    failures (budget or deadline exhaustion) are retried up the degradation
+    ladder; a rescued verdict lists the rungs climbed in [degradations],
+    and if every rung fails the original failure is returned verbatim with
+    the tried rungs recorded. *)
+let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(poc : string) ()
+    : report =
+  let t_start = Unix.gettimeofday () in
+  let deadline =
+    match config.deadline_s with
+    | None -> Deadline.none
+    | Some seconds -> Deadline.after ~seconds
+  in
+  let attempt cfg =
+    match run_attempt ~config:cfg ~deadline ?ell ~s ~t ~poc () with
+    | r -> r
+    | exception Deadline.Deadline_exceeded what ->
+        failure_report ("deadline exceeded: " ^ what)
+    | exception Faultinject.Injected what -> failure_report ("injected fault: " ^ what)
+  in
+  let finalize r = { r with elapsed_s = Unix.gettimeofday () -. t_start } in
+  let r0 = attempt config in
+  match r0.verdict with
+  | Failure msg when config.ladder && rescuable_failure msg ->
+      let rec climb tried = function
+        | [] -> finalize { r0 with degradations = r0.degradations @ List.rev tried }
+        | (rung, cfg) :: rest ->
+            if Deadline.expired deadline then
+              (* No budget left to climb with: the original failure stands;
+                 record only the rungs actually attempted. *)
+              finalize { r0 with degradations = r0.degradations @ List.rev tried }
+            else begin
+              let r = attempt cfg in
+              match r.verdict with
+              | Failure msg' when rescuable_failure msg' -> climb (rung :: tried) rest
+              | Failure _ ->
+                  (* The degraded run failed differently; the first
+                     attempt's failure is the honest one. *)
+                  finalize
+                    { r0 with degradations = r0.degradations @ List.rev (rung :: tried) }
+              | _ ->
+                  finalize { r with degradations = r.degradations @ List.rev (rung :: tried) }
+            end
+      in
+      climb [] (ladder_rungs config)
+  | _ -> finalize r0
+
+(* ------------------------------------------------------------------ *)
 (* Batch verification. *)
 
 type job = {
@@ -291,16 +444,37 @@ type job = {
   jt : Isa.program;
   jpoc : string;
   jell : string list option;
+  jconfig : config option;  (** per-job override of the batch config *)
 }
 
-let job ?ell ~label ~s ~t ~poc () = { label; js = s; jt = t; jpoc = poc; jell = ell }
+let job ?ell ?config ~label ~s ~t ~poc () =
+  { label; js = s; jt = t; jpoc = poc; jell = ell; jconfig = config }
 
-(** [run_all ?config ?jobs jobs_list] verifies every pair, fanning out over
-    a fixed pool of [jobs] worker domains ([jobs <= 1] runs serially in the
-    calling domain).  Results keep the input order.  Pairs are independent —
-    each run builds its own stores and states — so corpus throughput scales
-    with cores until memory bandwidth saturates. *)
-let run_all ?(config = default_config) ?(jobs = 1) (batch : job list) :
+(** [run_all ?config ?jobs ?retries jobs_list] verifies every pair, fanning
+    out over a fixed pool of [jobs] worker domains ([jobs <= 1] runs
+    serially in the calling domain).  Results keep the input order.  Pairs
+    are independent — each run builds its own stores and states — so corpus
+    throughput scales with cores until memory bandwidth saturates.
+
+    Crash isolation: a job whose worker raises (after [retries] extra
+    attempts) yields [(label, Failure "worker crashed: ...")] — the batch
+    always returns one labelled report per input job and never forfeits its
+    batch-mates' completed work. *)
+let run_all ?(config = default_config) ?(jobs = 1) ?(retries = 0) (batch : job list) :
     (string * report) list =
-  let one j = (j.label, run ~config ?ell:j.jell ~s:j.js ~t:j.jt ~poc:j.jpoc ()) in
-  Octo_util.Pool.parallel_map ~jobs one batch
+  let one j =
+    let cfg = Option.value j.jconfig ~default:config in
+    (* The chaos harness's synthetic worker crash fires *outside* run's
+       containment on purpose: it exercises the pool's crash isolation. *)
+    Faultinject.maybe_raise cfg.inject Faultinject.Worker_crash
+      ~what:"synthetic worker exception";
+    run ~config:cfg ?ell:j.jell ~s:j.js ~t:j.jt ~poc:j.jpoc ()
+  in
+  List.map2
+    (fun j r ->
+      match r with
+      | Stdlib.Ok report -> (j.label, report)
+      | Stdlib.Error (e, _bt) ->
+          (j.label, failure_report ("worker crashed: " ^ Printexc.to_string e)))
+    batch
+    (Octo_util.Pool.parallel_map_result ~jobs ~retries one batch)

@@ -43,6 +43,10 @@ type report = {
   bunches : Taint.bunch list;      (** P1 crash primitives *)
   taint : Taint.result option;
   symex : Directed.stats option;
+  degradations : string list;
+      (** degradation rungs climbed to produce this verdict, in order
+          applied (e.g. ["dynamic-cfg"], ["symex-escalate"]); empty for a
+          clean first-attempt run *)
   elapsed_s : float;
 }
 
@@ -71,15 +75,51 @@ type config = {
       (** repair CFG-recovery failures by replaying T on the PoC and
           devirtualizing observed indirect-call targets (extension; the
           paper's Idx-15 verifies under this mode) *)
+  deadline_s : float option;
+      (** wall-clock budget per {!run}, enforced cooperatively inside the
+          VM, the symbolic executor and the solver; [None] never expires.
+          Expiry yields [Failure "deadline exceeded: ..."], never an
+          escaped exception. *)
+  ladder : bool;
+      (** retry rescuable failures (budget/deadline exhaustion) up the
+          degradation ladder: escalated symex budgets, then a degraded
+          symbolic file size.  On by default; Table II is unaffected at
+          default budgets. *)
+  inject : Octo_util.Faultinject.t;
+      (** deterministic fault injector for the chaos harness
+          ({!Octo_util.Faultinject.none} by default) *)
 }
 
 val default_config : config
+
+(** [failure_report msg] builds a minimal report carrying
+    [Failure msg] and no artifacts — used for failures that happen outside
+    the pipeline proper (crashed worker, exceeded deadline).  Exposed for
+    the harnesses. *)
+val failure_report : ?degradations:string list -> string -> report
+
+(** [rescuable_failure msg] is [true] when [msg] describes a resource
+    exhaustion (symex budget, solver budget, deadline) that the degradation
+    ladder may rescue, as opposed to a semantic fact about the pair.
+    Exposed for testing. *)
+val rescuable_failure : string -> bool
+
+(** [ladder_rungs config] is the degradation ladder for [config], mildest
+    first: [("symex-escalate", _)] multiplies every symex budget, then
+    [("sym-file-degrade", _)] additionally shrinks the symbolic file.
+    Exposed for testing. *)
+val ladder_rungs : config -> (string * config) list
 
 (** [run ?config ?ell ~s ~t ~poc ()] executes the full pipeline.
 
     ℓ defaults to the clone-detection result of
     {!Octo_clone.Clone.shared_functions}; pass [?ell] to override (the
-    paper assumes ℓ is an input). *)
+    paper assumes ℓ is an input).
+
+    Does not raise: deadline expiries and injected faults become [Failure]
+    verdicts, and rescuable failures are retried up the degradation ladder
+    when [config.ladder] is on (the rungs climbed are recorded in
+    [degradations]). *)
 val run :
   ?config:config ->
   ?ell:string list ->
@@ -94,9 +134,12 @@ val run :
 type job
 
 (** [job ~label ~s ~t ~poc ()] builds a batch item; [?ell] overrides clone
-    detection as in {!run}. *)
+    detection as in {!run}, [?config] overrides the batch-level
+    configuration for this item only (used by the chaos harness to give
+    every job its own injector). *)
 val job :
   ?ell:string list ->
+  ?config:config ->
   label:string ->
   s:Octo_vm.Isa.program ->
   t:Octo_vm.Isa.program ->
@@ -104,8 +147,14 @@ val job :
   unit ->
   job
 
-(** [run_all ?config ?jobs batch] verifies every pair of [batch], fanning
-    the work out over a fixed pool of [jobs] worker domains
+(** [run_all ?config ?jobs ?retries batch] verifies every pair of [batch],
+    fanning the work out over a fixed pool of [jobs] worker domains
     ({!Octo_util.Pool}); [jobs <= 1] (the default) runs serially in the
-    calling domain.  Results are returned in input order, labelled. *)
-val run_all : ?config:config -> ?jobs:int -> job list -> (string * report) list
+    calling domain.  Results are returned in input order, labelled.
+
+    Crash isolation: a job whose worker raises — after [retries] (default
+    0) additional attempts — yields [(label, Failure "worker crashed:
+    ...")].  The batch always returns exactly one labelled report per
+    input job; one crashing job never discards its batch-mates' work. *)
+val run_all :
+  ?config:config -> ?jobs:int -> ?retries:int -> job list -> (string * report) list

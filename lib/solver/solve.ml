@@ -22,6 +22,8 @@
       store per candidate value. *)
 
 open Octo_vm.Isa
+module Deadline = Octo_util.Deadline
+module Faultinject = Octo_util.Faultinject
 
 type interval = int * int (* inclusive; over 0..2^32-1 *)
 
@@ -453,17 +455,26 @@ let check_fixed s =
   in
   go 0
 
-(** [solve ?budget s] searches for a concrete byte assignment satisfying
-    every constraint in [s].  The search assigns variables smallest-domain
-    first, backtracking via the trail, and verifies the final assignment by
-    concrete evaluation.  The store's domains are restored on return. *)
-let solve ?(budget = 200_000) (s : store) : solve_result =
+(** [solve ?budget ?deadline ?inject s] searches for a concrete byte
+    assignment satisfying every constraint in [s].  The search assigns
+    variables smallest-domain first, backtracking via the trail, and
+    verifies the final assignment by concrete evaluation.  The store's
+    domains are restored on return — including when the [deadline] expires
+    mid-search ({!Octo_util.Deadline.Deadline_exceeded} propagates after the
+    trail is rolled back).  A fired {!Faultinject.Solver_budget} site
+    starves the search: it returns [Unknown] exactly as a spent node budget
+    would. *)
+let solve ?(budget = 200_000) ?(deadline = Deadline.none) ?(inject = Faultinject.none)
+    (s : store) : solve_result =
+  if Faultinject.fire inject Faultinject.Solver_budget then Unknown
+  else begin
   let nodes = ref 0 in
   let vars = List.filter (fun v -> v >= 0) (all_vars s) in
   let exception Found of model in
   let rec go remaining =
     incr nodes;
     if !nodes > budget then raise Budget_exceeded;
+    if !nodes land 255 = 0 then Deadline.check deadline ~what:"solver model search";
     (* Select the unfixed variable with the smallest domain. *)
     let unfixed =
       List.filter_map
@@ -500,22 +511,33 @@ let solve ?(budget = 200_000) (s : store) : solve_result =
   let was = s.trailing in
   s.trailing <- true;
   let m0 = mark s in
-  let r =
-    try
-      go vars;
-      Unsat_result
-    with
-    | Found m -> Sat m
-    | Budget_exceeded -> Unknown
-    | Unsat_exn -> Unsat_result
+  let restore () =
+    undo_to s m0;
+    s.trailing <- was
   in
-  undo_to s m0;
-  s.trailing <- was;
-  r
+  match go vars with
+  | () ->
+      restore ();
+      Unsat_result
+  | exception Found m ->
+      restore ();
+      Sat m
+  | exception Budget_exceeded ->
+      restore ();
+      Unknown
+  | exception Unsat_exn ->
+      restore ();
+      Unsat_result
+  | exception e ->
+      (* Deadline expiry (or any unexpected exception): leave the store
+         clean before propagating. *)
+      restore ();
+      raise e
+  end
 
-(** [sat ?budget s extra] checks satisfiability of [s] plus the extra
-    constraints without mutating [s]. *)
-let sat ?budget (s : store) (extra : Expr.cond list) : solve_result =
+(** [sat ?budget ?deadline s extra] checks satisfiability of [s] plus the
+    extra constraints without mutating [s]. *)
+let sat ?budget ?deadline (s : store) (extra : Expr.cond list) : solve_result =
   let s' = copy s in
   let ok = List.for_all (fun c -> add s' c = Ok) extra in
-  if not ok then Unsat_result else solve ?budget s'
+  if not ok then Unsat_result else solve ?budget ?deadline s'

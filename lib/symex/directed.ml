@@ -19,6 +19,7 @@ open Octo_vm
 module Expr = Octo_solver.Expr
 module Solve = Octo_solver.Solve
 module Cfg = Octo_cfg.Cfg
+module Deadline = Octo_util.Deadline
 
 type ep_action =
   | Continue  (** keep executing (more bunches to place) *)
@@ -85,7 +86,7 @@ let loop_heads (prog : Isa.program) : (string, (int, unit) Hashtbl.t) Hashtbl.t 
     prog.funcs;
   per_fn
 
-let run_once ~(config : config) ~(distance : string -> int -> int)
+let run_once ~(config : config) ~(deadline : Deadline.t) ~(distance : string -> int -> int)
     ~(iters : (string * int, int) Hashtbl.t)
     ~(heads : (string, (int, unit) Hashtbl.t) Hashtbl.t)
     ~(on_ep : Sym_state.t -> count:int -> args:Expr.t list -> file_pos:int -> ep_action)
@@ -94,6 +95,8 @@ let run_once ~(config : config) ~(distance : string -> int -> int)
   let last_loop_exit = ref None in
   let iter_budget key = match Hashtbl.find_opt iters key with Some n -> n | None -> 0 in
   let rec go () =
+    if st.steps land 1023 = 0 then
+      Deadline.check deadline ~what:"directed symbolic execution";
     if st.steps > config.max_steps then A_steps
     else
       match Sym_state.step st with
@@ -156,11 +159,14 @@ let run_once ~(config : config) ~(distance : string -> int -> int)
   stats.total_steps <- stats.total_steps + st.steps;
   r
 
-(** [run ?config prog ~ep ~cfg ~on_ep] drives directed symbolic execution
-    with loop-state retry.  [on_ep] is invoked at every entry of [ep] — the
-    combining phase P3 lives in that callback (see {!Octopocs.Phases}). *)
+(** [run ?config ?deadline prog ~ep ~cfg ~on_ep] drives directed symbolic
+    execution with loop-state retry.  [on_ep] is invoked at every entry of
+    [ep] — the combining phase P3 lives in that callback (see
+    {!Octopocs.Phases}).  The [deadline] is polled every 1024 symbolic
+    steps; {!Octo_util.Deadline.Deadline_exceeded} propagates to the
+    caller. *)
 let run ?(config = default_config) ?(sym_file_size = Sym_state.default_sym_file_size)
-    (prog : Isa.program) ~(ep : string) ~(cfg : Cfg.t)
+    ?(deadline = Deadline.none) (prog : Isa.program) ~(ep : string) ~(cfg : Cfg.t)
     ~(on_ep : Sym_state.t -> count:int -> args:Expr.t list -> file_pos:int -> ep_action) :
     outcome * stats =
   let stats = fresh_stats () in
@@ -175,7 +181,7 @@ let run ?(config = default_config) ?(sym_file_size = Sym_state.default_sym_file_
     let rec attempt n =
       if n >= config.max_runs then Failed (Budget_exhausted "loop retries")
       else
-        match run_once ~config ~distance ~iters ~heads ~on_ep ~stats prog ~ep ~sym_file_size with
+        match run_once ~config ~deadline ~distance ~iters ~heads ~on_ep ~stats prog ~ep ~sym_file_size with
         | A_reached st -> Reached st
         | A_conflict k -> Failed (Constraint_conflict k)
         | A_steps -> Failed (Budget_exhausted "symbolic steps")

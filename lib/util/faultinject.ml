@@ -1,0 +1,91 @@
+(** Deterministic fault injection for the chaos harness.
+
+    Each injection site is a point where production code asks "should a
+    fault fire here?".  Decisions are drawn from splitmix64 streams — one
+    independent stream per site, all derived from a single seed — so a
+    schedule is a pure function of its seed: the same seed replays the same
+    faults at the same draw positions regardless of how the surrounding
+    batch is scheduled.  For that guarantee to hold across worker domains,
+    give each job its own injector (the streams are mutable and
+    unsynchronized by design; sharing one injector across domains trades
+    determinism away).
+
+    The default injector is {!none}: every check compiles to one tag test,
+    so the sites cost nothing when the toggle is off.
+
+    Sites:
+    - {!Vm_syscall}: a MiniVM syscall fails mid-run (checked once per
+      executed [Sys] instruction in {!Octo_vm.Interp}).
+    - {!Solver_budget}: the model search starves, as if the node budget ran
+      out ({!Octo_solver.Solve.solve} returns [Unknown]).
+    - {!Worker_crash}: a synthetic exception escapes the job before the
+      pipeline starts (checked in [Octopocs.run_all]'s worker wrapper).
+    - {!Deadline_expiry}: an artificial deadline expiry at a pipeline phase
+      boundary (raises {!Deadline.Deadline_exceeded}). *)
+
+type site = Vm_syscall | Solver_budget | Worker_crash | Deadline_expiry
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected what -> Some (Printf.sprintf "Injected(%s)" what)
+    | _ -> None)
+
+let all_sites = [ Vm_syscall; Solver_budget; Worker_crash; Deadline_expiry ]
+let nsites = 4
+
+let site_index = function
+  | Vm_syscall -> 0
+  | Solver_budget -> 1
+  | Worker_crash -> 2
+  | Deadline_expiry -> 3
+
+let site_name = function
+  | Vm_syscall -> "vm-syscall"
+  | Solver_budget -> "solver-budget"
+  | Worker_crash -> "worker-crash"
+  | Deadline_expiry -> "deadline-expiry"
+
+type t =
+  | Off
+  | On of {
+      rates_ppm : int array;  (* per-site firing probability, parts/million *)
+      streams : Rng.t array;  (* per-site independent splitmix64 streams *)
+    }
+
+let none = Off
+
+let enabled = function Off -> false | On _ -> true
+
+let ppm r = if r <= 0. then 0 else if r >= 1. then 1_000_000 else int_of_float (r *. 1e6)
+
+(** [create ?rate ?site_rates ~seed ()] builds an injector whose every site
+    fires with probability [rate] per check, overridden per-site by
+    [site_rates].  A rate of [1.0] fires on every check (used by tests to
+    force a specific fault), [0.0] never draws. *)
+let create ?(rate = 0.01) ?(site_rates = []) ~seed () =
+  let master = Rng.create seed in
+  let streams = Array.init nsites (fun _ -> Rng.split master) in
+  let rates_ppm = Array.make nsites (ppm rate) in
+  List.iter (fun (s, r) -> rates_ppm.(site_index s) <- ppm r) site_rates;
+  On { rates_ppm; streams }
+
+(** [fire t site] draws the site's next decision.  Advances that site's
+    stream (unless the site's rate is zero, which skips the draw). *)
+let fire t site =
+  match t with
+  | Off -> false
+  | On { rates_ppm; streams } ->
+      let i = site_index site in
+      rates_ppm.(i) > 0 && Rng.int streams.(i) 1_000_000 < rates_ppm.(i)
+
+(** [maybe_raise t site ~what] fires the site and raises the fault it
+    models: {!Deadline.Deadline_exceeded} for {!Deadline_expiry} (so the
+    pipeline's deadline handling is exercised end-to-end), {!Injected}
+    otherwise. *)
+let maybe_raise t site ~what =
+  if fire t site then
+    match site with
+    | Deadline_expiry -> raise (Deadline.Deadline_exceeded (what ^ " [injected]"))
+    | _ -> raise (Injected (site_name site ^ ": " ^ what))

@@ -1,0 +1,18 @@
+/* Monotonic clock for deadline budgets.
+ *
+ * OCaml 5.1's Unix library exposes only the wall clock
+ * (gettimeofday), which jumps under NTP adjustment; deadline
+ * accounting must never move backwards or leap forwards, so we read
+ * CLOCK_MONOTONIC directly. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+CAMLprim value octo_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec);
+}

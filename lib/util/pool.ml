@@ -6,6 +6,12 @@
     through a mutex-guarded queue, so batch after batch reuses the same
     domains instead of paying spawn cost per task.
 
+    Crash isolation: {!map_result} settles every item to a [result], so one
+    raising job never forfeits the completed work of its batch-mates, and a
+    bounded per-task retry absorbs transient faults.  Exceptions escaping a
+    raw {!submit} task are logged (never silently swallowed) and the worker
+    keeps serving.
+
     Jobs must not share mutable state unless they synchronize themselves;
     the pipeline satisfies this because every [Octopocs.run] builds its own
     stores, states and memories (the one shared structure, the CFG build
@@ -31,7 +37,14 @@ let rec worker_loop pool =
   else begin
     let task = Queue.pop pool.q in
     Mutex.unlock pool.lock;
-    (try task () with _ -> ());
+    (try task ()
+     with e ->
+       (* A worker must survive any task, but a crash must never be
+          invisible: report it with its backtrace before moving on. *)
+       let bt = Printexc.get_raw_backtrace () in
+       Logs.err (fun m ->
+           m "Pool: worker task raised %s@.%s" (Printexc.to_string e)
+             (Printexc.raw_backtrace_to_string bt)));
     worker_loop pool
   end
 
@@ -58,8 +71,13 @@ let create ~jobs =
   pool.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop pool));
   pool
 
-(** [submit pool task] enqueues a unit task.  Exceptions escaping the task
-    are swallowed by the worker; wrap the task if you need them. *)
+(** [submit pool task] enqueues a unit task.  Raises [Invalid_argument]
+    once the pool is shut down; the check and the enqueue are one critical
+    section, so a submit racing an in-flight {!shutdown} either lands the
+    task before the close (and it runs: workers drain the queue on
+    shutdown) or observes [closed] and raises — it can never deadlock or
+    drop the task silently.  Exceptions escaping the task are logged by the
+    worker; wrap the task if you need them. *)
 let submit pool task =
   Mutex.lock pool.lock;
   if pool.closed then begin
@@ -72,19 +90,43 @@ let submit pool task =
     Mutex.unlock pool.lock
   end
 
-(** [shutdown pool] drains outstanding tasks and joins every worker. *)
+(** [shutdown pool] drains outstanding tasks and joins every worker.
+    Idempotent and safe to race: the worker array is claimed under the
+    lock, so concurrent shutdowns join each domain exactly once. *)
 let shutdown pool =
   Mutex.lock pool.lock;
   pool.closed <- true;
+  let workers = pool.workers in
+  pool.workers <- [||];
   Condition.broadcast pool.nonempty;
   Mutex.unlock pool.lock;
-  Array.iter Domain.join pool.workers;
-  pool.workers <- [||]
+  Array.iter Domain.join workers
 
-(** [map pool f items] applies [f] to every item on the pool's workers and
-    returns the results in input order.  The first exception raised by any
-    [f] is re-raised in the caller once all items have settled. *)
-let map pool f items =
+(* One task attempt with bounded retry: transient faults (a worker hiccup,
+   an injected crash) get [retries] fresh attempts before the error is
+   recorded; the final exception keeps its backtrace. *)
+let run_task ~retries f x =
+  let rec attempt k =
+    match f x with
+    | v -> Stdlib.Ok v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        if k < retries then begin
+          Logs.warn (fun m ->
+              m "Pool: task raised %s; retrying (%d/%d)" (Printexc.to_string e) (k + 1) retries);
+          attempt (k + 1)
+        end
+        else Stdlib.Error (e, bt)
+  in
+  attempt 0
+
+(** [map_result ?retries pool f items] applies [f] to every item on the
+    pool's workers and returns per-item results in input order: [Ok y] for
+    items that succeeded, [Error (exn, backtrace)] for items whose every
+    attempt raised.  One crashing item never discards its batch-mates'
+    completed work.  [retries] (default 0) grants each item that many
+    additional attempts. *)
+let map_result ?(retries = 0) pool f items =
   let arr = Array.of_list items in
   let n = Array.length arr in
   if n = 0 then []
@@ -96,7 +138,7 @@ let map pool f items =
     Array.iteri
       (fun i x ->
         submit pool (fun () ->
-            let r = try Stdlib.Ok (f x) with e -> Stdlib.Error e in
+            let r = run_task ~retries f x in
             Mutex.lock lock;
             out.(i) <- Some r;
             decr remaining;
@@ -109,10 +151,29 @@ let map pool f items =
     done;
     Mutex.unlock lock;
     Array.to_list out
-    |> List.map (function
-         | Some (Stdlib.Ok v) -> v
-         | Some (Stdlib.Error e) -> raise e
-         | None -> assert false)
+    |> List.map (function Some r -> r | None -> assert false)
+  end
+
+(** [map pool f items] is {!map_result} that re-raises the first (in input
+    order) error once all items have settled, with its original
+    backtrace. *)
+let map pool f items =
+  map_result pool f items
+  |> List.map (function
+       | Stdlib.Ok v -> v
+       | Stdlib.Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+
+(** [parallel_map_result ~jobs ?retries f items] is a one-shot
+    [create]/[map_result]/[shutdown].  With an effective worker count of 1
+    it runs serially in the calling domain with identical result/retry
+    semantics and no domain spawned. *)
+let parallel_map_result ~jobs ?(retries = 0) f items =
+  if effective_jobs jobs <= 1 then List.map (run_task ~retries f) items
+  else begin
+    let pool = create ~jobs in
+    Fun.protect
+      ~finally:(fun () -> shutdown pool)
+      (fun () -> map_result ~retries pool f items)
   end
 
 (** [parallel_map ~jobs f items] is a one-shot [create]/[map]/[shutdown].

@@ -9,6 +9,8 @@
     how the taint engine seeds its specified memory area. *)
 
 open Isa
+module Deadline = Octo_util.Deadline
+module Faultinject = Octo_util.Faultinject
 
 (** A taintable object: a register of a specific activation frame, or one
     byte of memory. *)
@@ -86,12 +88,23 @@ let pp_outcome ppf = function
       Fmt.pf ppf "CRASH %a in %s@%d [%s]" Mem.pp_fault c.fault c.crash_func c.crash_pc
         (String.concat " > " c.backtrace)
 
-(** [run ?hooks ?max_steps program ~input] executes [program] on the input
-    file [input].  Termination is via [Exit], falling off a [Halt], a memory
-    fault, or the step budget (reported as a {!Mem.Hang} crash, the paper's
-    CWE-835 infinite-loop manifestation). *)
-let run ?(hooks = no_hooks) ?(max_steps = default_max_steps) (prog : program) ~(input : string) :
-    result =
+(* Deadline polling granularity: one monotonic-clock read every this many
+   steps.  Power of two so the gate is a single [land]. *)
+let deadline_stride = 2048
+
+(** [run ?hooks ?max_steps ?deadline ?inject program ~input] executes
+    [program] on the input file [input].  Termination is via [Exit], falling
+    off a [Halt], a memory fault, or the step budget (reported as a
+    {!Mem.Hang} crash, the paper's CWE-835 infinite-loop manifestation).
+
+    [deadline] is polled every {!deadline_stride} steps;
+    {!Octo_util.Deadline.Deadline_exceeded} propagates to the caller
+    (cooperative cancellation — a wall-clock budget is not a crash of the
+    program under test).  [inject] may fire a {!Faultinject.Vm_syscall}
+    fault at any executed syscall; the resulting
+    {!Octo_util.Faultinject.Injected} also propagates. *)
+let run ?(hooks = no_hooks) ?(max_steps = default_max_steps) ?(deadline = Deadline.none)
+    ?(inject = Faultinject.none) (prog : program) ~(input : string) : result =
   let mem = Mem.create () in
   Mem.load_rodata mem prog.data;
   let file = Vfile.create input in
@@ -236,6 +249,7 @@ let run ?(hooks = no_hooks) ?(max_steps = default_max_steps) (prog : program) ~(
           | [] -> assert false)
       | Halt -> raise (Exit_program 0)
       | Sys sc -> (
+          Faultinject.maybe_raise inject Faultinject.Vm_syscall ~what:"vm syscall";
           let next () = fr.pc <- fr.pc + 1 in
           match sc with
           | Open d ->
@@ -285,6 +299,8 @@ let run ?(hooks = no_hooks) ?(max_steps = default_max_steps) (prog : program) ~(
     try
       let rec loop () =
         if !steps >= max_steps then raise (Mem.Fault Mem.Hang);
+        if !steps land (deadline_stride - 1) = 0 then
+          Deadline.check deadline ~what:"concrete execution";
         incr steps;
         step ();
         loop ()

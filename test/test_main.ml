@@ -15,4 +15,5 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("fuzz", Test_fuzz.suite);
       ("extensions", Test_extensions.suite);
+      ("robust", Test_robust.suite);
     ]
