@@ -474,44 +474,72 @@ let bench_json () =
    pair) — in particular it does not depend on which worker domain picks up
    which job.  Each schedule is run twice on fresh injectors and the two
    verdict tables must agree byte-for-byte; any incomplete batch, label
-   disorder or divergence counts as a violation. *)
+   disorder or divergence counts as a violation.
+
+   On top of the replay check, every schedule exercises the durable run
+   layer: the batch is run once journaled end-to-end (the reference), then
+   again interrupted after K pairs — the journal's own torn-write fault
+   site armed, plus raw garbage appended to simulate dying mid-frame — and
+   resumed.  The resumed journal must decode to exactly the reference's
+   verdict set (poc' bytes and degradation rungs included). *)
+
+module Journal = Octo_util.Journal
 
 let chaos ~schedules ~seed () =
   say "";
   say "CHAOS: 15-pair batch under deterministic fault injection";
   say "(%d schedule(s), master seed %d, sites: vm-syscall solver-budget" schedules seed;
-  say " worker-crash deadline-expiry; 4 worker domains, 1 retry, 30s deadline)";
+  say " worker-crash deadline-expiry worker-stall journal-write;";
+  say " 4 worker domains, 1 retry, 30s deadline, 1s stall grace)";
   hr ();
   let npairs = List.length Registry.all in
   let violations = ref 0 in
   let violate fmt = Printf.ksprintf (fun m -> incr violations; say "  VIOLATION: %s" m) fmt in
+  (* Decode a journal into its run-independent verdict table: label,
+     structural verdict (poc' bytes included) and degradation rungs, sorted
+     by pair index.  elapsed_s is the only report field left out. *)
+  let decode_table path =
+    let r = Journal.replay path in
+    List.filter_map Octopocs.decode_result r.Journal.records
+    |> List.map (fun (label, _key, (rep : Octopocs.report)) ->
+           (label, rep.verdict, rep.degradations))
+    |> List.sort (fun (a, _, _) (b, _, _) ->
+           compare (int_of_string a) (int_of_string b))
+  in
   for sched = 0 to schedules - 1 do
     let sched_seed = seed + (sched * 7919) in
     (* Injector streams are mutable and advance as sites draw, so every
        repetition needs a fresh batch: determinism is seed-to-verdicts, not
        object-reuse. *)
-    let fresh_batch () =
-      List.map
-        (fun (c : Registry.case) ->
-          let inject =
-            Faultinject.create ~rate:0.0
-              ~site_rates:
-                [
-                  (Faultinject.Vm_syscall, 0.0005);
-                  (Faultinject.Solver_budget, 0.05);
-                  (Faultinject.Worker_crash, 0.05);
-                  (Faultinject.Deadline_expiry, 0.02);
-                ]
-              ~seed:(sched_seed lxor (c.idx * 0x9E3779B9)) ()
-          in
-          let config =
-            { Octopocs.default_config with inject; deadline_s = Some 30.0 }
-          in
-          Octopocs.job ~config ~label:(string_of_int c.idx) ~s:c.s ~t:c.t ~poc:c.poc ())
+    let job_of (c : Registry.case) =
+      let inject =
+        Faultinject.create ~rate:0.0
+          ~site_rates:
+            [
+              (Faultinject.Vm_syscall, 0.0005);
+              (Faultinject.Solver_budget, 0.05);
+              (Faultinject.Worker_crash, 0.05);
+              (Faultinject.Deadline_expiry, 0.02);
+              (Faultinject.Worker_stall, 0.01);
+            ]
+          ~seed:(sched_seed lxor (c.idx * 0x9E3779B9)) ()
+      in
+      let config = { Octopocs.default_config with inject; deadline_s = Some 30.0 } in
+      Octopocs.job ~config ~label:(string_of_int c.idx) ~s:c.s ~t:c.t ~poc:c.poc ()
+    in
+    let fresh_batch ?(only = fun _ -> true) () =
+      List.filter_map
+        (fun (c : Registry.case) -> if only c then Some (job_of c) else None)
         Registry.all
     in
+    (* The stall grace rides far above the pairs' millisecond runtimes, so
+       a loaded CI machine cannot false-positive a requeue and perturb the
+       replay-equality check. *)
+    let run_batch ?on_settle batch =
+      Octopocs.run_all ~jobs:4 ~retries:1 ~stall_grace_s:1.0 ?on_settle batch
+    in
     let snapshot () =
-      Octopocs.run_all ~jobs:4 ~retries:1 (fresh_batch ())
+      run_batch (fresh_batch ())
       |> List.map (fun (label, (r : Octopocs.report)) ->
              (label, Octopocs.verdict_class r.verdict, r.degradations))
     in
@@ -526,6 +554,57 @@ let chaos ~schedules ~seed () =
           violate "schedule %d: report %d labelled %s (want %s)" sched i label want)
       a;
     if a <> b then violate "schedule %d: verdicts differ between identical replays" sched;
+    (* Kill-mid-batch -> resume determinism.  Reference: the same schedule
+       journaled uninterrupted. *)
+    let journal_settle w label r =
+      try Journal.append w (Octopocs.encode_result ~label ~key:"-" r)
+      with Faultinject.Injected _ -> ()
+      (* the armed torn-write site firing IS the simulated crash *)
+    in
+    let ref_path = Filename.temp_file "octochaos-ref" ".jrnl" in
+    let wref = Journal.create ~path:ref_path () in
+    ignore (run_batch ~on_settle:(journal_settle wref) (fresh_batch ()));
+    Journal.close wref;
+    (* Interrupted run: only the first K pairs get to settle, the journal
+       writer has the journal-write torn-append site armed, and the file
+       gains a trailing half-frame (a length prefix promising 64 bytes that
+       never arrived) — dying mid-append, modelled twice over. *)
+    let k = 1 + (sched mod (npairs - 1)) in
+    let res_path = Filename.temp_file "octochaos-res" ".jrnl" in
+    let winject =
+      Faultinject.create ~rate:0.0
+        ~site_rates:[ (Faultinject.Journal_write, 0.15) ]
+        ~seed:(sched_seed lxor 0x6A09E667) ()
+    in
+    let w1 = Journal.create ~inject:winject ~path:res_path () in
+    ignore
+      (run_batch ~on_settle:(journal_settle w1)
+         (fresh_batch ~only:(fun c -> c.idx <= k) ()));
+    Journal.close w1;
+    let oc = open_out_gen [ Open_append; Open_binary ] 0o644 res_path in
+    output_string oc "\x40\x00\x00\x00\x99\x99\x99\x99AB";
+    close_out oc;
+    if not (Journal.replay res_path).Journal.torn then
+      violate "schedule %d: torn tail not detected before resume" sched;
+    (* Resume: recover the settled prefix, re-run only the rest (on fresh
+       per-pair injectors — fault schedules are per pair, so the re-run
+       pairs replay their uninterrupted fault pattern exactly). *)
+    let w2, records = Journal.open_resume ~path:res_path () in
+    let settled =
+      List.filter_map Octopocs.decode_result records |> List.map (fun (l, _, _) -> l)
+    in
+    ignore
+      (run_batch ~on_settle:(journal_settle w2)
+         (fresh_batch ~only:(fun c -> not (List.mem (string_of_int c.idx) settled)) ()));
+    Journal.close w2;
+    let ra = decode_table ref_path and rb = decode_table res_path in
+    if List.length ra <> npairs then
+      violate "schedule %d: reference journal decodes %d/%d pairs" sched (List.length ra)
+        npairs;
+    if ra <> rb then
+      violate "schedule %d: resumed journal verdicts differ from uninterrupted run" sched;
+    Sys.remove ref_path;
+    Sys.remove res_path;
     let cell (label, cls, degr) =
       let short =
         match cls with
@@ -536,11 +615,13 @@ let chaos ~schedules ~seed () =
       in
       Printf.sprintf "%s:%s%s" label short (if degr = [] then "" else "+")
     in
-    say "schedule %2d (seed %11d): %s" sched sched_seed (String.concat " " (List.map cell a))
+    say "schedule %2d (seed %11d, resume after %2d): %s" sched sched_seed k
+      (String.concat " " (List.map cell a))
   done;
   hr ();
   say "legend: pair:<class>, '+' = degradation rung(s) climbed, F = Failure";
-  say "chaos: %d schedule(s) x2 replays, %d violation(s)" schedules !violations;
+  say "chaos: %d schedule(s) x2 replays + journaled kill/resume, %d violation(s)" schedules
+    !violations;
   !violations
 
 (* ------------------------------------------------------------------ *)

@@ -2,20 +2,26 @@
 
    Subcommands:
      verify <idx>     run the full pipeline on one Table II pair
-     verify-all       run all 15 pairs (optionally in parallel with --jobs)
+     verify-all       run all 15 pairs (optionally in parallel with --jobs,
+                      journaled with --journal, resumable with --resume)
                       and print the Table II summary
      inspect <idx>    show the pair's programs, PoC hexdump and ℓ
      fuzz <idx>       run the AFLFast baseline on the pair's T binary
+     journal <path>   dump a verification journal (one line per settled
+                      pair, sorted by label — diffable across runs)
 
-   Exit codes of [verify] report the verdict, not the paper-match status:
-     0 = Triggered, 1 = Not_triggerable, 2 = Failure, 3 = tool crash.
-   [verify-all] keeps 0 = all pairs match the paper / 1 = some mismatch,
-   with 3 still reserved for a crash of the tool itself. *)
+   Exit codes report the verdict, not the paper-match status:
+     0 = Triggered, 1 = Not_triggerable, 2 = Failure, 3 = tool/worker crash.
+   [verify] maps its single verdict; [verify-all] reports the WORST verdict
+   across the batch under the same convention (the registry contains one
+   expected-Failure pair, so a faithful full run exits 2).  A bad pair
+   index is a structured one-line error and exit 2, never a backtrace. *)
 
 open Cmdliner
 module Registry = Octo_targets.Registry
 module B = Octo_util.Bytes_util
 module Faultinject = Octo_util.Faultinject
+module Journal = Octo_util.Journal
 
 let say fmt = Format.printf (fmt ^^ "@.")
 
@@ -31,15 +37,25 @@ let config_for ?(dynamic = false) ~deadline ~chaos_seed idx =
   in
   { Octopocs.default_config with dynamic_cfg = dynamic; deadline_s = deadline; inject }
 
+(* A pair index from the command line is untrusted input: out-of-range or
+   negative values get a one-line structured error and exit 2, never an
+   uncaught exception trace. *)
+let with_case idx f =
+  match Registry.find_opt idx with
+  | Some c -> f c
+  | None ->
+      Format.eprintf "octopocs: error: pair index %d out of range (valid: 1-%d)@." idx
+        (List.length Registry.all);
+      2
+
 let pp_degradations (r : Octopocs.report) =
   if r.degradations <> [] then
     say "  degraded: %s" (String.concat " -> " r.degradations)
 
-let run_one ?(dynamic = false) ?deadline ?chaos_seed idx : Octopocs.report =
-  let c = Registry.find idx in
+let run_one ?(dynamic = false) ?deadline ?chaos_seed (c : Registry.case) : Octopocs.report =
   say "Pair %d: S=%s(%s)  T=%s(%s)  %s [%s]" c.idx c.s.pname c.s_version c.t.pname c.t_version
     c.vuln_id c.cwe;
-  let config = config_for ~dynamic ~deadline ~chaos_seed idx in
+  let config = config_for ~dynamic ~deadline ~chaos_seed c.idx in
   let r = Octopocs.run ~config ~s:c.s ~t:c.t ~poc:c.poc () in
   say "  ep      : %s" r.ep;
   say "  ℓ       : %s" (String.concat ", " r.ell);
@@ -65,11 +81,21 @@ let run_one ?(dynamic = false) ?deadline ?chaos_seed idx : Octopocs.report =
   if got = want then say "  MATCH" else say "  MISMATCH (%s vs %s)" got want;
   r
 
+(* The 0/1/2/3 verdict-exit convention shared by verify and verify-all.
+   Worker crashes and stalls are the tool failing, not the verification
+   failing, and map to the tool-crash code. *)
+let crashed_verdict (r : Octopocs.report) =
+  match r.verdict with
+  | Octopocs.Failure msg ->
+      let pre p = String.length msg >= String.length p && String.sub msg 0 (String.length p) = p in
+      pre "worker crashed" || pre "worker stalled"
+  | _ -> false
+
 let verdict_exit (r : Octopocs.report) =
   match r.verdict with
   | Octopocs.Triggered _ -> 0
   | Octopocs.Not_triggerable _ -> 1
-  | Octopocs.Failure _ -> 2
+  | Octopocs.Failure _ -> if crashed_verdict r then 3 else 2
 
 let matches (c : Registry.case) (r : Octopocs.report) =
   Octopocs.verdict_class r.verdict = Registry.expected_to_string c.expected
@@ -95,57 +121,154 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc:"Verify one Table II pair")
     Term.(const (fun dynamic deadline chaos_seed idx ->
-              verdict_exit (run_one ~dynamic ?deadline ?chaos_seed idx))
+              with_case idx (fun c ->
+                  verdict_exit (run_one ~dynamic ?deadline ?chaos_seed c)))
           $ dynamic $ deadline_arg $ chaos_seed_arg $ idx)
 
-let run_all jobs retries deadline chaos_seed =
-  if jobs <= 1 && retries = 0 then begin
-    let failures =
-      List.fold_left
-        (fun acc (c : Registry.case) ->
-          let r = run_one ?deadline ?chaos_seed c.idx in
-          if matches c r then acc else acc + 1)
-        0 Registry.all
-    in
-    say "%d/%d pairs match the paper's verdicts" (List.length Registry.all - failures)
-      (List.length Registry.all);
-    if failures = 0 then 0 else 1
-  end
+(* ------------------------------------------------------------------ *)
+(* verify-all: journaled, resumable batch verification. *)
+
+(* Test hook for the CI kill-and-resume smoke job: pacing each settle makes
+   "SIGKILL lands mid-batch" a certainty instead of a race against a
+   sub-second run. *)
+let settle_delay_s =
+  match Sys.getenv_opt "OCTOPOCS_SETTLE_DELAY" with
+  | Some s -> ( match float_of_string_opt s with Some d when d > 0. -> d | _ -> 0.)
+  | None -> 0.
+
+let structured_error fmt =
+  Format.kasprintf (fun msg -> Format.eprintf "octopocs: error: %s@." msg; 2) fmt
+
+type batch_outcome = Fresh of Octopocs.report | Cached of Octopocs.report
+
+let report_of = function Fresh r | Cached r -> r
+
+let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall_grace =
+  if resume && journal_path = None then
+    structured_error "--resume requires --journal PATH"
   else begin
-    (* Parallel batch: verify on a fixed pool of worker domains, then print
-       the summary in registry order.  Each job carries its own config so
-       fault streams stay per-pair. *)
     let t0 = Unix.gettimeofday () in
-    let batch =
-      List.map
-        (fun (c : Registry.case) ->
-          let config = config_for ~deadline ~chaos_seed c.idx in
-          Octopocs.job ~config ~label:(string_of_int c.idx) ~s:c.s ~t:c.t ~poc:c.poc ())
-        Registry.all
+    let config_of idx = config_for ~deadline ~chaos_seed idx in
+    let key_of (c : Registry.case) =
+      Octopocs.content_key ~config:(config_of c.idx) ~s:c.s ~t:c.t ~poc:c.poc ()
     in
-    let results = Octopocs.run_all ~jobs ~retries batch in
-    let elapsed = Unix.gettimeofday () -. t0 in
-    let failures =
-      List.fold_left2
-        (fun acc (c : Registry.case) (label, (r : Octopocs.report)) ->
-          assert (label = string_of_int c.idx);
-          let got = Octopocs.verdict_class r.verdict in
-          let want = Registry.expected_to_string c.expected in
-          say "Pair %-3s %-22s -> %-40s %s%s" label
-            (Printf.sprintf "%s/%s" c.s.pname c.t.pname)
-            (Fmt.str "%a" Octopocs.pp_verdict r.verdict)
-            (if got = want then "MATCH" else Printf.sprintf "MISMATCH (want %s)" want)
-            (if r.degradations = [] then ""
-             else Printf.sprintf "  [degraded: %s]" (String.concat " -> " r.degradations));
-          if got = want then acc else acc + 1)
-        0 Registry.all results
+    (* Journal setup.  A fresh run refuses to clobber an existing journal:
+       the file is durable evidence, and losing it silently defeats the
+       point of writing it. *)
+    let journal_setup =
+      match journal_path with
+      | None -> Ok (None, [])
+      | Some path ->
+          let inject =
+            match chaos_seed with
+            | None -> Faultinject.none
+            | Some seed -> Faultinject.create ~seed:(seed lxor 0x6A09E667) ()
+          in
+          if resume then begin
+            let w, records = Journal.open_resume ~inject ~path () in
+            (Ok (Some w, List.filter_map Octopocs.decode_result records))
+          end
+          else if Sys.file_exists path then
+            Error
+              (structured_error
+                 "journal %s already exists; pass --resume to continue it or remove it first"
+                 path)
+          else Ok (Some (Journal.create ~inject ~path ()), [])
     in
-    say "%d/%d pairs match the paper's verdicts (%.3fs wall, %d worker domain(s))"
-      (List.length Registry.all - failures)
-      (List.length Registry.all)
-      elapsed
-      (Octo_util.Pool.effective_jobs jobs);
-    if failures = 0 then 0 else 1
+    match journal_setup with
+    | Error code -> code
+    | Ok (writer, replayed) ->
+        (* Last journaled record per label wins (a key change mid-history
+           re-runs the pair and re-journals it). *)
+        let settled : (string, string * Octopocs.report) Hashtbl.t = Hashtbl.create 31 in
+        List.iter (fun (label, key, r) -> Hashtbl.replace settled label (key, r)) replayed;
+        (* Split the registry: cache hits (journaled verdict under the same
+           content key) vs pairs that must (re-)run. *)
+        let cached, to_run =
+          List.partition_map
+            (fun (c : Registry.case) ->
+              match Hashtbl.find_opt settled (string_of_int c.idx) with
+              | Some (key, r) when key = key_of c -> Left (c.idx, r)
+              | _ -> Right c)
+            Registry.all
+        in
+        let cached_tbl = Hashtbl.create 31 in
+        List.iter (fun (idx, r) -> Hashtbl.replace cached_tbl idx r) cached;
+        let on_settle label (r : Octopocs.report) =
+          if settle_delay_s > 0. then Unix.sleepf settle_delay_s;
+          match writer with
+          | None -> ()
+          | Some w ->
+              let key =
+                match int_of_string_opt label with
+                | Some idx -> (
+                    match Registry.find_opt idx with Some c -> key_of c | None -> "")
+                | None -> ""
+              in
+              Journal.append w (Octopocs.encode_result ~label ~key r)
+        in
+        let batch =
+          List.map
+            (fun (c : Registry.case) ->
+              let config = config_of c.idx in
+              Octopocs.job ~config ~label:(string_of_int c.idx) ~s:c.s ~t:c.t ~poc:c.poc ())
+            to_run
+        in
+        let fresh =
+          Octopocs.run_all ~jobs ~retries ?stall_grace_s:stall_grace ~fail_fast
+            ~on_settle batch
+        in
+        (match writer with Some w -> Journal.close w | None -> ());
+        let fresh_tbl = Hashtbl.create 31 in
+        List.iter (fun (label, r) -> Hashtbl.replace fresh_tbl label r) fresh;
+        let results =
+          List.map
+            (fun (c : Registry.case) ->
+              match Hashtbl.find_opt cached_tbl c.idx with
+              | Some r -> (c, Cached r)
+              | None -> (c, Fresh (Hashtbl.find fresh_tbl (string_of_int c.idx))))
+            Registry.all
+        in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        let mismatches = ref 0 in
+        List.iter
+          (fun ((c : Registry.case), outcome) ->
+            let r = report_of outcome in
+            let got = Octopocs.verdict_class r.verdict in
+            let want = Registry.expected_to_string c.expected in
+            if not (matches c r) then incr mismatches;
+            say "Pair %-3d %-22s -> %-40s %s%s%s" c.idx
+              (Printf.sprintf "%s/%s" c.s.pname c.t.pname)
+              (Fmt.str "%a" Octopocs.pp_verdict r.verdict)
+              (if got = want then "MATCH" else Printf.sprintf "MISMATCH (want %s)" want)
+              (match outcome with Cached _ -> "  [cached]" | Fresh _ -> "")
+              (if r.degradations = [] then ""
+               else Printf.sprintf "  [degraded: %s]" (String.concat " -> " r.degradations)))
+          results;
+        (* Per-verdict summary and the worst-verdict exit code. *)
+        let count p = List.length (List.filter (fun (_, o) -> p (report_of o)) results) in
+        let skipped = count Octopocs.is_skipped_report in
+        let crashed = count crashed_verdict in
+        let triggered =
+          count (fun r -> match r.verdict with Octopocs.Triggered _ -> true | _ -> false)
+        in
+        let not_trig =
+          count (fun r -> match r.verdict with Octopocs.Not_triggerable _ -> true | _ -> false)
+        in
+        let failures =
+          count (fun r ->
+              match r.verdict with
+              | Octopocs.Failure _ -> not (crashed_verdict r) && not (Octopocs.is_skipped_report r)
+              | _ -> false)
+        in
+        let ncached = List.length cached in
+        say "summary : %d triggered / %d not-triggerable / %d failure / %d crashed (%d cached, %d skipped)"
+          triggered not_trig failures crashed ncached skipped;
+        say "%d/%d pairs match the paper's verdicts (%.3fs wall, %d worker domain(s))"
+          (List.length results - !mismatches)
+          (List.length results) elapsed
+          (Octo_util.Pool.effective_jobs jobs);
+        List.fold_left (fun acc (_, o) -> max acc (verdict_exit (report_of o))) 0 results
   end
 
 let verify_all_cmd =
@@ -157,14 +280,54 @@ let verify_all_cmd =
   let retries =
     Arg.(value & opt int 0
          & info [ "retries" ] ~docv:"N"
-             ~doc:"Retry a crashed pair $(docv) extra times before recording \
+             ~doc:"Retry a crashed or stalled pair $(docv) extra times before recording \
                    its worker-crash Failure (default 0).")
   in
-  Cmd.v (Cmd.info "verify-all" ~doc:"Verify all 15 pairs")
-    Term.(const run_all $ jobs $ retries $ deadline_arg $ chaos_seed_arg)
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"PATH"
+             ~doc:"Write-ahead journal: append each pair's verdict to $(docv) as it \
+                   settles (CRC-framed, fsynced), so a killed batch loses nothing.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Replay the journal first: pairs already settled under an identical \
+                   content key are reused, only unfinished ones re-run.  A torn \
+                   trailing record (crash mid-append) is dropped and repaired.")
+  in
+  let fail_fast =
+    Arg.(value & flag
+         & info [ "fail-fast" ]
+             ~doc:"Stop scheduling new pairs after the first Failure verdict; \
+                   unstarted pairs are reported as skipped (and not journaled, so \
+                   --resume re-runs them).")
+  in
+  let stall_grace =
+    Arg.(value & opt (some float) None
+         & info [ "stall-grace" ] ~docv:"SECS"
+             ~doc:"Heartbeat watchdog: requeue a worker silent for $(docv) seconds \
+                   under the --retries accounting (needs --jobs >= 2).  Pick a grace \
+                   above --deadline: the deadline bounds a healthy pair, the watchdog \
+                   catches wedged ones.")
+  in
+  Cmd.v
+    (Cmd.info "verify-all" ~doc:"Verify all 15 pairs"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P "The exit code is the worst verdict across the batch, matching verify's \
+               single-pair convention: 0 all pairs Triggered; 1 some pair \
+               Not-triggerable; 2 some pair Failure; 3 some worker crashed or \
+               stalled.  (The registry's pair 15 is an expected Failure, so a \
+               faithful full run exits 2.)";
+         ])
+    Term.(const run_all $ jobs $ retries $ deadline_arg $ chaos_seed_arg $ journal $ resume
+          $ fail_fast $ stall_grace)
 
-let inspect idx =
-  let c = Registry.find idx in
+(* ------------------------------------------------------------------ *)
+
+let inspect (c : Registry.case) =
   say "S = %s (%d instructions), T = %s (%d instructions)" c.s.pname
     (Octo_vm.Asm.size_of_code c.s) c.t.pname (Octo_vm.Asm.size_of_code c.t);
   let pairs = Octo_clone.Clone.shared_functions c.s c.t in
@@ -176,10 +339,10 @@ let inspect idx =
 
 let inspect_cmd =
   let idx = Arg.(required & pos 0 (some int) None & info [] ~docv:"IDX") in
-  Cmd.v (Cmd.info "inspect" ~doc:"Show a pair's programs and PoC") Term.(const inspect $ idx)
+  Cmd.v (Cmd.info "inspect" ~doc:"Show a pair's programs and PoC")
+    Term.(const (fun idx -> with_case idx inspect) $ idx)
 
-let fuzz idx =
-  let c = Registry.find idx in
+let fuzz (c : Registry.case) =
   let seeds = [ c.poc ] in
   let r =
     Octo_fuzz.Aflfast.run
@@ -195,7 +358,60 @@ let fuzz idx =
 
 let fuzz_cmd =
   let idx = Arg.(required & pos 0 (some int) None & info [] ~docv:"IDX") in
-  Cmd.v (Cmd.info "fuzz" ~doc:"Run the AFLFast baseline on a pair's T") Term.(const fuzz $ idx)
+  Cmd.v (Cmd.info "fuzz" ~doc:"Run the AFLFast baseline on a pair's T")
+    Term.(const (fun idx -> with_case idx fuzz) $ idx)
+
+(* ------------------------------------------------------------------ *)
+(* journal: dump a verification journal in a run-independent form (no
+   timings), one sorted line per pair — two journals of equivalent runs
+   diff clean, which is exactly what the kill-and-resume CI check does. *)
+
+let journal_dump path =
+  if not (Sys.file_exists path) then structured_error "no such journal: %s" path
+  else begin
+    let r = Journal.replay path in
+    let tbl : (string, string * Octopocs.report) Hashtbl.t = Hashtbl.create 31 in
+    let undecodable = ref 0 in
+    List.iter
+      (fun payload ->
+        match Octopocs.decode_result payload with
+        | Some (label, key, rep) -> Hashtbl.replace tbl label (key, rep)
+        | None -> incr undecodable)
+      r.records;
+    let entries = Hashtbl.fold (fun l (k, rep) acc -> (l, k, rep) :: acc) tbl [] in
+    let entries =
+      List.sort
+        (fun (a, _, _) (b, _, _) ->
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some x, Some y -> compare x y
+          | _ -> compare a b)
+        entries
+    in
+    List.iter
+      (fun (label, key, (rep : Octopocs.report)) ->
+        let detail =
+          match rep.verdict with
+          | Octopocs.Triggered { poc'; _ } ->
+              Printf.sprintf " poc'=%s" (Digest.to_hex (Digest.string poc'))
+          | _ -> ""
+        in
+        say "pair %-4s key=%s %s%s%s" label key
+          (Fmt.str "%a" Octopocs.pp_verdict rep.verdict)
+          detail
+          (if rep.degradations = [] then ""
+           else Printf.sprintf " [degraded: %s]" (String.concat " -> " rep.degradations)))
+      entries;
+    say "%d pair(s)%s%s" (List.length entries)
+      (if !undecodable > 0 then Printf.sprintf ", %d undecodable record(s)" !undecodable
+       else "")
+      (if r.torn then ", torn trailing record dropped" else "");
+    0
+  end
+
+let journal_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH") in
+  Cmd.v (Cmd.info "journal" ~doc:"Dump a verification journal")
+    Term.(const journal_dump $ path)
 
 let () =
   (* Pool/worker diagnostics (swallowed task exceptions, retry notices) go
@@ -205,7 +421,10 @@ let () =
   let info = Cmd.info "octopocs" ~doc:"Verify propagated vulnerable code with reformed PoCs" in
   (* ~catch:false so an unexpected exception maps to the documented tool-
      crash exit code instead of cmdliner's 125. *)
-  match Cmd.eval' ~catch:false (Cmd.group info [ verify_cmd; verify_all_cmd; inspect_cmd; fuzz_cmd ]) with
+  match
+    Cmd.eval' ~catch:false
+      (Cmd.group info [ verify_cmd; verify_all_cmd; inspect_cmd; fuzz_cmd; journal_cmd ])
+  with
   | code -> exit code
   | exception e ->
       Format.eprintf "octopocs: tool crash: %s@." (Printexc.to_string e);

@@ -379,6 +379,35 @@ let ladder_rungs (config : config) : (string * config) list =
     ("sym-file-degrade", { escalated with sym_file_size = max 256 (config.sym_file_size / 4) });
   ]
 
+(** [climb_ladder ~deadline ~attempt r0 rungs] retries a rescuable failure
+    [r0] up the ladder.  The deadline is the ONE budget shared by every
+    rung — a retried rung cannot reset the clock, and once it expires the
+    climb stops and the original failure stands with only the rungs
+    actually attempted recorded.  A rung that fails differently (a
+    non-rescuable failure) also ends the climb with the first attempt's
+    failure, the honest one.  Exposed for testing. *)
+let climb_ladder ~(deadline : Deadline.t) ~(attempt : config -> report) (r0 : report) rungs :
+    report =
+  let rec climb tried = function
+    | [] -> { r0 with degradations = r0.degradations @ List.rev tried }
+    | (rung, cfg) :: rest ->
+        if Deadline.expired deadline then
+          (* No budget left to climb with: the original failure stands;
+             record only the rungs actually attempted. *)
+          { r0 with degradations = r0.degradations @ List.rev tried }
+        else begin
+          let r = attempt cfg in
+          match r.verdict with
+          | Failure msg' when rescuable_failure msg' -> climb (rung :: tried) rest
+          | Failure _ ->
+              (* The degraded run failed differently; the first attempt's
+                 failure is the honest one. *)
+              { r0 with degradations = r0.degradations @ List.rev (rung :: tried) }
+          | _ -> { r with degradations = r.degradations @ List.rev (rung :: tried) }
+        end
+  in
+  climb [] rungs
+
 (** [run ?config ?ell ~s ~t ~poc ()] executes the full pipeline.
 
     ℓ defaults to the clone-detection result of {!Clone.shared_functions};
@@ -402,6 +431,9 @@ let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(
     | Some seconds -> Deadline.after ~seconds
   in
   let attempt cfg =
+    (* Each attempt start is a liveness proof for the pool's watchdog: a
+       pair climbing the ladder is slow, not wedged. *)
+    Octo_util.Pool.heartbeat ();
     match run_attempt ~config:cfg ~deadline ?ell ~s ~t ~poc () with
     | r -> r
     | exception Deadline.Deadline_exceeded what ->
@@ -412,27 +444,7 @@ let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(
   let r0 = attempt config in
   match r0.verdict with
   | Failure msg when config.ladder && rescuable_failure msg ->
-      let rec climb tried = function
-        | [] -> finalize { r0 with degradations = r0.degradations @ List.rev tried }
-        | (rung, cfg) :: rest ->
-            if Deadline.expired deadline then
-              (* No budget left to climb with: the original failure stands;
-                 record only the rungs actually attempted. *)
-              finalize { r0 with degradations = r0.degradations @ List.rev tried }
-            else begin
-              let r = attempt cfg in
-              match r.verdict with
-              | Failure msg' when rescuable_failure msg' -> climb (rung :: tried) rest
-              | Failure _ ->
-                  (* The degraded run failed differently; the first
-                     attempt's failure is the honest one. *)
-                  finalize
-                    { r0 with degradations = r0.degradations @ List.rev (rung :: tried) }
-              | _ ->
-                  finalize { r with degradations = r.degradations @ List.rev (rung :: tried) }
-            end
-      in
-      climb [] (ladder_rungs config)
+      finalize (climb_ladder ~deadline ~attempt r0 (ladder_rungs config))
   | _ -> finalize r0
 
 (* ------------------------------------------------------------------ *)
@@ -450,31 +462,246 @@ type job = {
 let job ?ell ?config ~label ~s ~t ~poc () =
   { label; js = s; jt = t; jpoc = poc; jell = ell; jconfig = config }
 
-(** [run_all ?config ?jobs ?retries jobs_list] verifies every pair, fanning
-    out over a fixed pool of [jobs] worker domains ([jobs <= 1] runs
-    serially in the calling domain).  Results keep the input order.  Pairs
-    are independent — each run builds its own stores and states — so corpus
-    throughput scales with cores until memory bandwidth saturates.
+(* ------------------------------------------------------------------ *)
+(* Verdict cache keys. *)
+
+(* Canonical program rendering for hashing: functions in sorted-name order
+   so the digest does not depend on hash-table internals (bucket layout,
+   [OCAMLRUNPARAM=R] randomization). *)
+let hash_program (p : Isa.program) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b p.pname;
+  Buffer.add_char b '\000';
+  Buffer.add_string b p.entry;
+  Buffer.add_char b '\000';
+  let fnames = Hashtbl.fold (fun k _ acc -> k :: acc) p.funcs [] |> List.sort compare in
+  List.iter
+    (fun fn ->
+      let f = Isa.func_exn p fn in
+      Buffer.add_string b (Marshal.to_string (f.Isa.fname, f.Isa.nparams, f.Isa.code) []))
+    fnames;
+  Buffer.add_string b (Marshal.to_string (p.ftable, p.data) []);
+  Digest.string (Buffer.contents b)
+
+(* Every config field that can change a verdict.  [inject] is deliberately
+   excluded: fault injection perturbs a run, not the pair's identity — a
+   resumed chaos batch must treat the journaled verdict of a fault-afflicted
+   pair as settled, exactly as the uninterrupted run would have. *)
+let config_fingerprint (c : config) =
+  Marshal.to_string
+    ( c.taint_mode,
+      c.taint_granularity,
+      c.symex,
+      c.sym_file_size,
+      c.max_steps,
+      c.solver_budget,
+      c.dynamic_cfg,
+      c.deadline_s,
+      c.ladder )
+    []
+
+(** [content_key ?config ?ell ~s ~t ~poc ()] is the verdict-cache key: a
+    hex digest over the canonical content of both programs, the PoC bytes,
+    the ℓ override, and every budget/config field that can change a verdict
+    (fault injection excluded — see the journal docs).  Two invocations
+    share a key iff a journaled verdict of one is valid for the other. *)
+let content_key ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program)
+    ~(poc : string) () =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\000"
+          [
+            hash_program s;
+            hash_program t;
+            Digest.string poc;
+            Digest.string (Marshal.to_string ell []);
+            Digest.string (config_fingerprint config);
+          ]))
+
+(** [job_key ~config j] is [content_key] for a batch item, under the job's
+    own config override when it has one. *)
+let job_key ~config (j : job) =
+  content_key
+    ~config:(Option.value j.jconfig ~default:config)
+    ?ell:j.jell ~s:j.js ~t:j.jt ~poc:j.jpoc ()
+
+(* ------------------------------------------------------------------ *)
+(* Journal record codec.
+
+   One record per settled pair: label, cache key, and enough of the report
+   to reconstruct the verdict exactly (poc' bytes included).  Artifacts
+   (taint, symex stats, bunches) are run-time debugging aids, not verdict
+   state, and are not persisted.  The encoding is length-prefixed and
+   binary-safe; [decode_result] is total, returning [None] on any
+   malformed record (a foreign or future-versioned journal must not crash
+   the reader). *)
+
+let codec_version = "OPR1"
+
+let put_str b s =
+  let l = Bytes.create 4 in
+  Bytes.set_int32_le l 0 (Int32.of_int (String.length s));
+  Buffer.add_bytes b l;
+  Buffer.add_string b s
+
+let encode_result ~label ~key (r : report) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b codec_version;
+  put_str b label;
+  put_str b key;
+  put_str b r.ep;
+  put_str b (Marshal.to_string r.ell []);
+  (match r.verdict with
+  | Triggered { poc'; ptype } ->
+      Buffer.add_char b 'T';
+      Buffer.add_char b (match ptype with Type_I -> '1' | Type_II -> '2');
+      put_str b poc'
+  | Not_triggerable reason ->
+      Buffer.add_char b 'N';
+      (match reason with
+      | Ep_not_called -> Buffer.add_char b 'e'
+      | Program_dead -> Buffer.add_char b 'd'
+      | Unsat_model -> Buffer.add_char b 'u'
+      | Constraint_conflict k ->
+          Buffer.add_char b 'c';
+          put_str b (string_of_int k))
+  | Failure msg ->
+      Buffer.add_char b 'F';
+      put_str b msg);
+  put_str b (Marshal.to_string r.degradations []);
+  put_str b (Int64.to_string (Int64.bits_of_float r.elapsed_s));
+  Buffer.contents b
+
+let decode_result (s : string) : (string * string * report) option =
+  let pos = ref 0 in
+  let n = String.length s in
+  let exception Bad in
+  let take k =
+    if n - !pos < k then raise Bad;
+    let r = String.sub s !pos k in
+    pos := !pos + k;
+    r
+  in
+  let get_str () =
+    let l = take 4 in
+    let len =
+      Char.code l.[0] lor (Char.code l.[1] lsl 8) lor (Char.code l.[2] lsl 16)
+      lor (Char.code l.[3] lsl 24)
+    in
+    if len < 0 || len > n - !pos then raise Bad;
+    take len
+  in
+  match
+    if take 4 <> codec_version then raise Bad;
+    let label = get_str () in
+    let key = get_str () in
+    let ep = get_str () in
+    let ell : string list = Marshal.from_string (get_str ()) 0 in
+    let verdict =
+      match (take 1).[0] with
+      | 'T' ->
+          let ptype = match (take 1).[0] with '1' -> Type_I | '2' -> Type_II | _ -> raise Bad in
+          Triggered { poc' = get_str (); ptype }
+      | 'N' -> (
+          match (take 1).[0] with
+          | 'e' -> Not_triggerable Ep_not_called
+          | 'd' -> Not_triggerable Program_dead
+          | 'u' -> Not_triggerable Unsat_model
+          | 'c' -> (
+              match int_of_string_opt (get_str ()) with
+              | Some k -> Not_triggerable (Constraint_conflict k)
+              | None -> raise Bad)
+          | _ -> raise Bad)
+      | 'F' -> Failure (get_str ())
+      | _ -> raise Bad
+    in
+    let degradations : string list = Marshal.from_string (get_str ()) 0 in
+    let elapsed_s =
+      match Int64.of_string_opt (get_str ()) with
+      | Some bits -> Int64.float_of_bits bits
+      | None -> raise Bad
+    in
+    if !pos <> n then raise Bad;
+    ( label,
+      key,
+      { verdict; ep; ell; bunches = []; taint = None; symex = None; degradations; elapsed_s } )
+  with
+  | r -> Some r
+  | exception Bad -> None
+  | exception Failure _ -> None (* Marshal.from_string on truncated data *)
+
+(* ------------------------------------------------------------------ *)
+
+let skipped_failure_msg = "skipped: fail-fast after an earlier failure"
+
+let is_skipped_report (r : report) =
+  match r.verdict with
+  | Failure msg -> msg = skipped_failure_msg
+  | _ -> false
+
+(** [run_all ?config ?jobs ?retries ?stall_grace_s ?fail_fast ?on_settle
+    jobs_list] verifies every pair, fanning out over a fixed pool of [jobs]
+    worker domains ([jobs <= 1] runs serially in the calling domain).
+    Results keep the input order.  Pairs are independent — each run builds
+    its own stores and states — so corpus throughput scales with cores
+    until memory bandwidth saturates.
 
     Crash isolation: a job whose worker raises (after [retries] extra
     attempts) yields [(label, Failure "worker crashed: ...")] — the batch
     always returns one labelled report per input job and never forfeits its
-    batch-mates' completed work. *)
-let run_all ?(config = default_config) ?(jobs = 1) ?(retries = 0) (batch : job list) :
-    (string * report) list =
+    batch-mates' completed work.
+
+    Stall supervision: with [stall_grace_s] (and [jobs >= 2]), a worker
+    silent past the grace is requeued under the same [retries] accounting;
+    exhausted attempts settle as [Failure "worker stalled: ..."].
+
+    [fail_fast] stops scheduling once any pair settles as a [Failure]:
+    not-yet-started pairs come back as [Failure "skipped: ..."]
+    ({!is_skipped_report}) and are NOT passed to [on_settle], so a
+    journaled resumed run re-verifies them.
+
+    [on_settle label report] fires exactly once per non-skipped job as it
+    settles (completion order, from worker context — the write-ahead
+    journal hooks in here); [run_all] returns only after every callback
+    has finished. *)
+let run_all ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?stall_grace_s
+    ?(fail_fast = false) ?on_settle (batch : job list) : (string * report) list =
+  let stop = Atomic.make false in
   let one j =
-    let cfg = Option.value j.jconfig ~default:config in
-    (* The chaos harness's synthetic worker crash fires *outside* run's
-       containment on purpose: it exercises the pool's crash isolation. *)
-    Faultinject.maybe_raise cfg.inject Faultinject.Worker_crash
-      ~what:"synthetic worker exception";
-    run ~config:cfg ?ell:j.jell ~s:j.js ~t:j.jt ~poc:j.jpoc ()
+    if fail_fast && Atomic.get stop then failure_report skipped_failure_msg
+    else begin
+      let cfg = Option.value j.jconfig ~default:config in
+      (* The chaos harness's synthetic worker faults fire *outside* run's
+         containment on purpose: crash exercises the pool's crash
+         isolation, stall its heartbeat watchdog. *)
+      Faultinject.maybe_raise cfg.inject Faultinject.Worker_crash
+        ~what:"synthetic worker exception";
+      if Faultinject.fire cfg.inject Faultinject.Worker_stall then begin
+        let stall_s =
+          match stall_grace_s with Some g -> 2.5 *. g | None -> 0.25
+        in
+        Unix.sleepf stall_s;
+        raise (Faultinject.Injected "worker-stall: synthetic wedged worker")
+      end;
+      run ~config:cfg ?ell:j.jell ~s:j.js ~t:j.jt ~poc:j.jpoc ()
+    end
+  in
+  let arr = Array.of_list batch in
+  let to_report = function
+    | Stdlib.Ok report -> report
+    | Stdlib.Error (Octo_util.Pool.Stalled msg, _) ->
+        failure_report ("worker stalled: " ^ msg)
+    | Stdlib.Error (e, _bt) -> failure_report ("worker crashed: " ^ Printexc.to_string e)
+  in
+  let settle i res =
+    let r = to_report res in
+    if not (is_skipped_report r) then begin
+      (match r.verdict with Failure _ -> Atomic.set stop true | _ -> ());
+      match on_settle with None -> () | Some f -> f arr.(i).label r
+    end
   in
   List.map2
-    (fun j r ->
-      match r with
-      | Stdlib.Ok report -> (j.label, report)
-      | Stdlib.Error (e, _bt) ->
-          (j.label, failure_report ("worker crashed: " ^ Printexc.to_string e)))
+    (fun j res -> (j.label, to_report res))
     batch
-    (Octo_util.Pool.parallel_map_result ~jobs ~retries one batch)
+    (Octo_util.Pool.parallel_map_result ~jobs ~retries ?stall_grace_s ~on_settle:settle one
+       batch)

@@ -110,6 +110,19 @@ val rescuable_failure : string -> bool
     Exposed for testing. *)
 val ladder_rungs : config -> (string * config) list
 
+(** [climb_ladder ~deadline ~attempt r0 rungs] retries the rescuable
+    failure [r0] up [rungs].  The deadline is the ONE wall-clock budget
+    shared by every rung — a retried rung cannot reset the clock; once it
+    expires the climb stops and [r0] stands, recording only the rungs
+    actually attempted.  Exposed for testing the deadline × retry
+    interaction. *)
+val climb_ladder :
+  deadline:Octo_util.Deadline.t ->
+  attempt:(config -> report) ->
+  report ->
+  (string * config) list ->
+  report
+
 (** [run ?config ?ell ~s ~t ~poc ()] executes the full pipeline.
 
     ℓ defaults to the clone-detection result of
@@ -147,14 +160,73 @@ val job :
   unit ->
   job
 
-(** [run_all ?config ?jobs ?retries batch] verifies every pair of [batch],
-    fanning the work out over a fixed pool of [jobs] worker domains
-    ({!Octo_util.Pool}); [jobs <= 1] (the default) runs serially in the
-    calling domain.  Results are returned in input order, labelled.
+(** [content_key ?config ?ell ~s ~t ~poc ()] is the verdict-cache key: a
+    hex digest over the canonical content of S and T, the PoC bytes, the ℓ
+    override, and every budget/config field that can change a verdict
+    ([config.inject] excluded — fault injection perturbs a run, not the
+    pair's identity).  A journaled verdict is valid for a later invocation
+    iff the keys match; any content or budget change forces a re-run. *)
+val content_key :
+  ?config:config ->
+  ?ell:string list ->
+  s:Octo_vm.Isa.program ->
+  t:Octo_vm.Isa.program ->
+  poc:string ->
+  unit ->
+  string
+
+(** [job_key ~config j] is {!content_key} for a batch item, under the
+    job's own config override when it has one. *)
+val job_key : config:config -> job -> string
+
+(** [encode_result ~label ~key r] serializes one settled pair for the
+    write-ahead journal ({!Octo_util.Journal}): label, cache key, and the
+    full verdict (poc' bytes, degradation rungs, elapsed time).  Pipeline
+    artifacts (taint, symex stats, bunches) are not persisted. *)
+val encode_result : label:string -> key:string -> report -> string
+
+(** [decode_result payload] is the inverse of {!encode_result}:
+    [(label, key, report)], or [None] on any malformed or
+    foreign-versioned record — the decoder never raises. *)
+val decode_result : string -> (string * string * report) option
+
+(** [is_skipped_report r] recognizes the placeholder [Failure] that
+    [run_all ~fail_fast:true] returns for pairs it never started. *)
+val is_skipped_report : report -> bool
+
+(** [run_all ?config ?jobs ?retries ?stall_grace_s ?fail_fast ?on_settle
+    batch] verifies every pair of [batch], fanning the work out over a
+    fixed pool of [jobs] worker domains ({!Octo_util.Pool}); [jobs <= 1]
+    (the default) runs serially in the calling domain.  Results are
+    returned in input order, labelled.
 
     Crash isolation: a job whose worker raises — after [retries] (default
     0) additional attempts — yields [(label, Failure "worker crashed:
     ...")].  The batch always returns exactly one labelled report per
-    input job; one crashing job never discards its batch-mates' work. *)
+    input job; one crashing job never discards its batch-mates' work.
+
+    Stall supervision: with [stall_grace_s] (and [jobs >= 2]), a worker
+    silent past the grace period is requeued under the same [retries]
+    accounting; once its attempts are exhausted the pair settles as
+    [Failure "worker stalled: ..."].  Pick a grace comfortably above the
+    per-pair deadline — the deadline bounds a healthy pair's runtime, the
+    watchdog catches everything the deadline cannot (non-cooperative
+    wedges).
+
+    [fail_fast] stops scheduling new pairs once any pair settles as a
+    [Failure]; unstarted pairs come back as skipped placeholders
+    ({!is_skipped_report}) and are not journaled.
+
+    [on_settle label report] fires exactly once per non-skipped job, in
+    completion order, from worker context; [run_all] returns only after
+    every callback finishes.  The CLI's write-ahead journaling hooks in
+    here. *)
 val run_all :
-  ?config:config -> ?jobs:int -> ?retries:int -> job list -> (string * report) list
+  ?config:config ->
+  ?jobs:int ->
+  ?retries:int ->
+  ?stall_grace_s:float ->
+  ?fail_fast:bool ->
+  ?on_settle:(string -> report -> unit) ->
+  job list ->
+  (string * report) list

@@ -97,8 +97,13 @@ let all : case list =
       ~poc:Pairs_mpdf.poc_font_overflow ~vuln_func:"font_copy" ~expected:Fail ();
   ]
 
+(** [find_opt idx] is the case at [idx], or [None] when [idx] is negative,
+    zero, or past the table — the total lookup CLI-facing code must use so
+    a bad index becomes a structured error, not an exception trace. *)
+let find_opt idx = List.find_opt (fun c -> c.idx = idx) all
+
 let find idx =
-  match List.find_opt (fun c -> c.idx = idx) all with
+  match find_opt idx with
   | Some c -> c
   | None -> invalid_arg (Printf.sprintf "Registry.find: no case %d" idx)
 

@@ -21,9 +21,21 @@
     - {!Worker_crash}: a synthetic exception escapes the job before the
       pipeline starts (checked in [Octopocs.run_all]'s worker wrapper).
     - {!Deadline_expiry}: an artificial deadline expiry at a pipeline phase
-      boundary (raises {!Deadline.Deadline_exceeded}). *)
+      boundary (raises {!Deadline.Deadline_exceeded}).
+    - {!Journal_write}: a torn write during a write-ahead-journal append —
+      only a prefix of the frame reaches the file before the "process dies"
+      (checked in {!Journal.append}).
+    - {!Worker_stall}: a worker wedges instead of crashing — the job sleeps
+      past any watchdog grace before failing (checked in
+      [Octopocs.run_all]'s worker wrapper, like {!Worker_crash}). *)
 
-type site = Vm_syscall | Solver_budget | Worker_crash | Deadline_expiry
+type site =
+  | Vm_syscall
+  | Solver_budget
+  | Worker_crash
+  | Deadline_expiry
+  | Journal_write
+  | Worker_stall
 
 exception Injected of string
 
@@ -32,20 +44,26 @@ let () =
     | Injected what -> Some (Printf.sprintf "Injected(%s)" what)
     | _ -> None)
 
-let all_sites = [ Vm_syscall; Solver_budget; Worker_crash; Deadline_expiry ]
-let nsites = 4
+let all_sites =
+  [ Vm_syscall; Solver_budget; Worker_crash; Deadline_expiry; Journal_write; Worker_stall ]
+
+let nsites = 6
 
 let site_index = function
   | Vm_syscall -> 0
   | Solver_budget -> 1
   | Worker_crash -> 2
   | Deadline_expiry -> 3
+  | Journal_write -> 4
+  | Worker_stall -> 5
 
 let site_name = function
   | Vm_syscall -> "vm-syscall"
   | Solver_budget -> "solver-budget"
   | Worker_crash -> "worker-crash"
   | Deadline_expiry -> "deadline-expiry"
+  | Journal_write -> "journal-write"
+  | Worker_stall -> "worker-stall"
 
 type t =
   | Off

@@ -1,0 +1,496 @@
+(* Tests for the durable run layer: the write-ahead journal (framing,
+   torn-write recovery, injected torn appends), the verdict record codec,
+   content-keyed verdict caching, the pool's heartbeat watchdog, and
+   fail-fast / resume semantics of batch verification. *)
+
+module Journal = Octo_util.Journal
+module Faultinject = Octo_util.Faultinject
+module Pool = Octo_util.Pool
+module Registry = Octo_targets.Registry
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let tmp_journal () =
+  let path = Filename.temp_file "octotest" ".jrnl" in
+  Sys.remove path;
+  path
+
+let with_tmp f =
+  let path = tmp_journal () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let append_raw path bytes =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  output_string oc bytes;
+  close_out oc
+
+(* A record with every byte class a payload can contain. *)
+let binary_record = "\x00\x01|\xff\n framed \x00 bytes \r\n" ^ String.make 300 '\xaa'
+
+(* ------------------------------------------------------------------ *)
+(* Journal framing *)
+
+let journal_roundtrip () =
+  with_tmp (fun path ->
+      let w = Journal.create ~path () in
+      let records = [ "first"; ""; binary_record; "last" ] in
+      List.iter (Journal.append w) records;
+      Journal.close w;
+      let r = Journal.replay path in
+      check Alcotest.(list string) "records" records r.Journal.records;
+      check Alcotest.bool "not torn" false r.Journal.torn)
+
+let journal_missing_file_is_empty () =
+  let r = Journal.replay "/nonexistent/octopocs.jrnl" in
+  check Alcotest.(list string) "no records" [] r.Journal.records;
+  check Alcotest.bool "not torn" false r.Journal.torn
+
+let journal_header_garbage_is_torn () =
+  with_tmp (fun path ->
+      append_raw path "this is not a journal at all";
+      let r = Journal.replay path in
+      check Alcotest.(list string) "nothing recovered" [] r.Journal.records;
+      check Alcotest.bool "flagged torn" true r.Journal.torn;
+      check Alcotest.int "no valid prefix" 0 r.Journal.valid_bytes)
+
+let journal_torn_tail_dropped () =
+  with_tmp (fun path ->
+      let w = Journal.create ~path () in
+      Journal.append w "alpha";
+      Journal.append w "beta";
+      Journal.close w;
+      let clean_len = (Unix.stat path).Unix.st_size in
+      (* A frame header promising 64 payload bytes that never arrived. *)
+      append_raw path "\x40\x00\x00\x00\x99\x99\x99\x99partial";
+      let r = Journal.replay path in
+      check Alcotest.(list string) "prefix intact" [ "alpha"; "beta" ] r.Journal.records;
+      check Alcotest.bool "flagged torn" true r.Journal.torn;
+      check Alcotest.int "valid prefix ends before tear" clean_len r.Journal.valid_bytes)
+
+let journal_short_frame_header_dropped () =
+  with_tmp (fun path ->
+      let w = Journal.create ~path () in
+      Journal.append w "alpha";
+      Journal.close w;
+      append_raw path "\x05\x00\x00";  (* 3 bytes: not even a length field *)
+      let r = Journal.replay path in
+      check Alcotest.(list string) "prefix intact" [ "alpha" ] r.Journal.records;
+      check Alcotest.bool "flagged torn" true r.Journal.torn)
+
+let journal_crc_corruption_ends_prefix () =
+  with_tmp (fun path ->
+      let w = Journal.create ~path () in
+      Journal.append w "alpha";
+      Journal.append w "beta";
+      Journal.append w "gamma";
+      Journal.close w;
+      (* Flip one payload byte of the SECOND record: it and everything after
+         it is untrusted (frame boundaries are gone past the first bad
+         frame). *)
+      let ic = open_in_bin path in
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let second_payload =
+        String.length Journal.header + (8 + String.length "alpha") + 8
+      in
+      let b = Bytes.of_string data in
+      Bytes.set b second_payload 'X';
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      let r = Journal.replay path in
+      check Alcotest.(list string) "only the pre-corruption prefix" [ "alpha" ]
+        r.Journal.records;
+      check Alcotest.bool "flagged torn" true r.Journal.torn)
+
+let journal_absurd_length_is_torn () =
+  with_tmp (fun path ->
+      let w = Journal.create ~path () in
+      Journal.append w "alpha";
+      Journal.close w;
+      (* Length field far beyond max_record_len: mid-frame garbage, not a
+         record we could ever have written. *)
+      append_raw path "\xff\xff\xff\x7f\x00\x00\x00\x00";
+      let r = Journal.replay path in
+      check Alcotest.(list string) "prefix intact" [ "alpha" ] r.Journal.records;
+      check Alcotest.bool "flagged torn" true r.Journal.torn)
+
+let journal_open_resume_truncates_and_appends () =
+  with_tmp (fun path ->
+      let w = Journal.create ~path () in
+      Journal.append w "alpha";
+      Journal.append w "beta";
+      Journal.close w;
+      append_raw path "\x10\x00\x00\x00\x00\x00\x00\x00half";
+      let w2, recovered = Journal.open_resume ~path () in
+      check Alcotest.(list string) "recovered prefix" [ "alpha"; "beta" ] recovered;
+      Journal.append w2 "gamma";
+      Journal.close w2;
+      let r = Journal.replay path in
+      check Alcotest.(list string) "tail repaired, append clean"
+        [ "alpha"; "beta"; "gamma" ] r.Journal.records;
+      check Alcotest.bool "no longer torn" false r.Journal.torn)
+
+let journal_open_resume_fresh_and_garbage () =
+  with_tmp (fun path ->
+      (* Missing file: starts a fresh journal. *)
+      let w, recovered = Journal.open_resume ~path () in
+      check Alcotest.(list string) "nothing to recover" [] recovered;
+      Journal.append w "only";
+      Journal.close w;
+      check Alcotest.(list string) "fresh journal works" [ "only" ]
+        (Journal.replay path).Journal.records);
+  with_tmp (fun path ->
+      (* Headerless garbage: no valid prefix, so resume starts over. *)
+      append_raw path "garbage, not a journal";
+      let w, recovered = Journal.open_resume ~path () in
+      check Alcotest.(list string) "nothing recovered from garbage" [] recovered;
+      Journal.append w "fresh";
+      Journal.close w;
+      let r = Journal.replay path in
+      check Alcotest.(list string) "restarted clean" [ "fresh" ] r.Journal.records;
+      check Alcotest.bool "clean" false r.Journal.torn)
+
+let journal_injected_torn_write () =
+  with_tmp (fun path ->
+      let inject =
+        Faultinject.create ~rate:0.0 ~site_rates:[ (Faultinject.Journal_write, 1.0) ]
+          ~seed:1 ()
+      in
+      let w = Journal.create ~inject ~path () in
+      (match Journal.append w "doomed" with
+      | () -> Alcotest.fail "expected Injected"
+      | exception Faultinject.Injected _ -> ());
+      (* The simulated process is dead: later appends silently go nowhere. *)
+      Journal.append w "after poison";
+      Journal.close w;
+      let r = Journal.replay path in
+      check Alcotest.(list string) "half-frame recovered as nothing" [] r.Journal.records;
+      check Alcotest.bool "torn" true r.Journal.torn;
+      (* Resume repairs the tear and appending works again. *)
+      let w2, recovered = Journal.open_resume ~path () in
+      check Alcotest.(list string) "empty recovery" [] recovered;
+      Journal.append w2 "reborn";
+      Journal.close w2;
+      check Alcotest.(list string) "clean after resume" [ "reborn" ]
+        (Journal.replay path).Journal.records)
+
+let journal_append_after_close_rejected () =
+  with_tmp (fun path ->
+      let w = Journal.create ~path () in
+      Journal.close w;
+      Journal.close w;  (* idempotent *)
+      match Journal.append w "late" with
+      | () -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
+let crc32_check_value () =
+  (* The CRC-32/IEEE check value from the rocksoft catalogue. *)
+  check Alcotest.int "crc32(123456789)" 0xCBF43926 (Journal.crc32 "123456789")
+
+(* ------------------------------------------------------------------ *)
+(* Verdict record codec *)
+
+let sample_reports : (string * Octopocs.report) list =
+  let base = Octopocs.failure_report "x" in
+  [
+    ( "triggered-I",
+      { base with
+        verdict = Octopocs.Triggered { poc' = binary_record; ptype = Octopocs.Type_I };
+        ep = "mjpg_scan"; ell = [ "a"; "b" ]; elapsed_s = 1.25 } );
+    ( "triggered-II",
+      { base with
+        verdict = Octopocs.Triggered { poc' = ""; ptype = Octopocs.Type_II };
+        degradations = [ "symex-escalate"; "sym-file-degrade" ] } );
+    ("nt-ep", { base with verdict = Octopocs.Not_triggerable Octopocs.Ep_not_called });
+    ("nt-dead", { base with verdict = Octopocs.Not_triggerable Octopocs.Program_dead });
+    ("nt-unsat", { base with verdict = Octopocs.Not_triggerable Octopocs.Unsat_model });
+    ( "nt-conflict",
+      { base with verdict = Octopocs.Not_triggerable (Octopocs.Constraint_conflict 3) } );
+    ("failure", { base with verdict = Octopocs.Failure "CFG recovery failed: x@3" });
+  ]
+
+let codec_roundtrip () =
+  List.iter
+    (fun (name, (r : Octopocs.report)) ->
+      let payload = Octopocs.encode_result ~label:name ~key:"k123" r in
+      match Octopocs.decode_result payload with
+      | None -> Alcotest.failf "%s: decode returned None" name
+      | Some (label, key, d) ->
+          check Alcotest.string (name ^ " label") name label;
+          check Alcotest.string (name ^ " key") "k123" key;
+          check Alcotest.bool (name ^ " verdict") true (d.verdict = r.verdict);
+          check Alcotest.string (name ^ " ep") r.ep d.ep;
+          check Alcotest.(list string) (name ^ " ell") r.ell d.ell;
+          check Alcotest.(list string) (name ^ " degradations") r.degradations d.degradations;
+          check (Alcotest.float 0.0) (name ^ " elapsed") r.elapsed_s d.elapsed_s)
+    sample_reports
+
+let codec_rejects_malformed () =
+  let valid =
+    Octopocs.encode_result ~label:"1" ~key:"k" (snd (List.hd sample_reports))
+  in
+  (* Every strict prefix is an incomplete record; every version or tag
+     perturbation is a foreign record.  None may crash the decoder. *)
+  for cut = 0 to String.length valid - 1 do
+    match Octopocs.decode_result (String.sub valid 0 cut) with
+    | None -> ()
+    | Some _ -> Alcotest.failf "prefix of length %d decoded" cut
+  done;
+  check Alcotest.bool "trailing garbage rejected" true
+    (Octopocs.decode_result (valid ^ "x") = None);
+  check Alcotest.bool "foreign version rejected" true
+    (Octopocs.decode_result ("XXXX" ^ String.sub valid 4 (String.length valid - 4)) = None);
+  check Alcotest.bool "empty rejected" true (Octopocs.decode_result "" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Content keys *)
+
+let content_key_stable_and_sensitive () =
+  let c1 = Registry.find 1 and c2 = Registry.find 2 in
+  let key ?config ?ell (c : Registry.case) =
+    Octopocs.content_key ?config ?ell ~s:c.s ~t:c.t ~poc:c.poc ()
+  in
+  check Alcotest.string "deterministic" (key c1) (key c1);
+  check Alcotest.bool "different pair, different key" true (key c1 <> key c2);
+  check Alcotest.bool "poc change forces re-run" true
+    (key c1 <> Octopocs.content_key ~s:c1.s ~t:c1.t ~poc:(c1.poc ^ "\x00") ());
+  check Alcotest.bool "ell override changes key" true (key c1 <> key ~ell:[ "mjpg_scan" ] c1);
+  let budget = { Octopocs.default_config with solver_budget = 7 } in
+  check Alcotest.bool "budget change forces re-run" true (key c1 <> key ~config:budget c1);
+  (* Fault injection perturbs a run, not the pair's identity: a resumed
+     chaos batch must accept the journaled verdicts. *)
+  let injected =
+    { Octopocs.default_config with
+      inject = Faultinject.create ~rate:0.5 ~seed:9 () }
+  in
+  check Alcotest.string "inject excluded from key" (key c1) (key ~config:injected c1)
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat watchdog *)
+
+let watchdog_requeues_stalled_worker () =
+  (* First attempt wedges (no heartbeat) for far longer than the grace; the
+     requeued attempt answers immediately.  The watchdog must hand the item
+     to a fresh attempt and settle with its result. *)
+  let attempts = Atomic.make 0 in
+  let f () =
+    if Atomic.fetch_and_add attempts 1 = 0 then begin
+      Unix.sleepf 0.6;
+      111
+    end
+    else 222
+  in
+  match Pool.parallel_map_result ~jobs:2 ~retries:1 ~stall_grace_s:0.05 (fun () -> f ()) [ () ] with
+  | [ Ok 222 ] -> check Alcotest.int "both attempts ran" 2 (Atomic.get attempts)
+  | [ Ok n ] -> Alcotest.failf "settled with attempt result %d" n
+  | [ Error (e, _) ] -> Alcotest.failf "unexpected error: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected one result"
+
+let watchdog_exhausted_attempts_settle_stalled () =
+  let f () = Unix.sleepf 0.5; 1 in
+  match Pool.parallel_map_result ~jobs:2 ~retries:0 ~stall_grace_s:0.05 (fun () -> f ()) [ () ] with
+  | [ Error (Pool.Stalled _, _) ] -> ()
+  | [ Error (e, _) ] -> Alcotest.failf "unexpected error: %s" (Printexc.to_string e)
+  | [ Ok _ ] -> Alcotest.fail "expected Stalled, got Ok"
+  | _ -> Alcotest.fail "expected one result"
+
+let watchdog_heartbeat_staves_off_requeue () =
+  (* Slow but alive: a worker stamping its heartbeat inside the grace must
+     never be requeued, no matter how long it runs. *)
+  let attempts = Atomic.make 0 in
+  let f () =
+    Atomic.incr attempts;
+    for _ = 1 to 10 do
+      Unix.sleepf 0.02;
+      Pool.heartbeat ()
+    done;
+    42
+  in
+  match Pool.parallel_map_result ~jobs:2 ~retries:3 ~stall_grace_s:0.08 (fun () -> f ()) [ () ] with
+  | [ Ok 42 ] -> check Alcotest.int "single attempt" 1 (Atomic.get attempts)
+  | _ -> Alcotest.fail "expected Ok 42"
+
+let watchdog_stale_failure_costs_no_retry () =
+  (* The superseded first attempt eventually raises; that failure must be
+     discarded as stale, not billed against the retry budget — the requeue
+     already consumed the one retry, so a billed stale failure would flip
+     the verdict to an error. *)
+  let attempts = Atomic.make 0 in
+  let f () =
+    if Atomic.fetch_and_add attempts 1 = 0 then begin
+      Unix.sleepf 0.4;
+      failwith "stale attempt dying late"
+    end
+    else 7
+  in
+  match Pool.parallel_map_result ~jobs:2 ~retries:1 ~stall_grace_s:0.05 (fun () -> f ()) [ () ] with
+  | [ Ok 7 ] -> ()
+  | [ Error (e, _) ] -> Alcotest.failf "stale failure consumed the retry: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected one result"
+
+let run_all_maps_stall_to_failure () =
+  (* A forced worker-stall with no retries must settle as the structured
+     "worker stalled" Failure — the CLI maps it to the tool-crash exit. *)
+  let c = Registry.find 1 in
+  let config =
+    { Octopocs.default_config with
+      inject =
+        Faultinject.create ~rate:0.0 ~site_rates:[ (Faultinject.Worker_stall, 1.0) ] ~seed:4 () }
+  in
+  let batch = [ Octopocs.job ~config ~label:"1" ~s:c.s ~t:c.t ~poc:c.poc () ] in
+  match Octopocs.run_all ~jobs:2 ~retries:0 ~stall_grace_s:0.05 batch with
+  | [ ("1", (r : Octopocs.report)) ] -> (
+      match r.verdict with
+      | Octopocs.Failure msg ->
+          check Alcotest.bool "stall failure message" true
+            (String.length msg >= 14 && String.sub msg 0 14 = "worker stalled")
+      | v -> Alcotest.failf "expected Failure, got %s" (Octopocs.verdict_class v))
+  | _ -> Alcotest.fail "expected one labelled report"
+
+(* ------------------------------------------------------------------ *)
+(* Fail-fast and settle callbacks *)
+
+let run_all_fail_fast_skips_rest () =
+  (* Serial batch, pair 1 sabotaged with a forced worker crash: fail-fast
+     must stop scheduling, report the rest as skipped, and fire on_settle
+     only for the pair that actually settled. *)
+  let crash =
+    { Octopocs.default_config with
+      inject =
+        Faultinject.create ~rate:0.0 ~site_rates:[ (Faultinject.Worker_crash, 1.0) ] ~seed:2 () }
+  in
+  let batch =
+    List.filter_map
+      (fun (c : Registry.case) ->
+        if c.idx > 4 then None
+        else
+          Some
+            (Octopocs.job
+               ?config:(if c.idx = 1 then Some crash else None)
+               ~label:(string_of_int c.idx) ~s:c.s ~t:c.t ~poc:c.poc ()))
+      Registry.all
+  in
+  let settled = ref [] in
+  let results =
+    Octopocs.run_all ~jobs:1 ~fail_fast:true
+      ~on_settle:(fun label _ -> settled := label :: !settled)
+      batch
+  in
+  check Alcotest.int "all four reports" 4 (List.length results);
+  (match results with
+  | ("1", r1) :: rest ->
+      check Alcotest.bool "pair 1 crashed" true
+        (match r1.Octopocs.verdict with Octopocs.Failure _ -> true | _ -> false);
+      check Alcotest.bool "pair 1 not a skip" false (Octopocs.is_skipped_report r1);
+      List.iter
+        (fun (label, r) ->
+          check Alcotest.bool (label ^ " skipped") true (Octopocs.is_skipped_report r))
+        rest
+  | _ -> Alcotest.fail "unexpected result shape");
+  check Alcotest.(list string) "only the settled pair journaled" [ "1" ] !settled
+
+let run_all_on_settle_covers_every_pair () =
+  let batch =
+    List.filter_map
+      (fun (c : Registry.case) ->
+        if c.idx > 5 then None
+        else Some (Octopocs.job ~label:(string_of_int c.idx) ~s:c.s ~t:c.t ~poc:c.poc ()))
+      Registry.all
+  in
+  let settled = ref [] in
+  let results =
+    Octopocs.run_all ~jobs:2 ~on_settle:(fun label _ -> settled := label :: !settled) batch
+  in
+  (* on_settle fires from worker context in completion order; by the time
+     run_all returns, every pair must have been journaled exactly once. *)
+  check Alcotest.(list string) "every pair settled once" [ "1"; "2"; "3"; "4"; "5" ]
+    (List.sort compare !settled);
+  check Alcotest.int "all reports" 5 (List.length results)
+
+(* ------------------------------------------------------------------ *)
+(* Resume-merge equivalence (the CLI's --resume in miniature) *)
+
+let resume_merge_equivalence () =
+  with_tmp (fun path ->
+      let cases = List.filteri (fun i _ -> i < 3) Registry.all in
+      let batch only =
+        List.filter_map
+          (fun (c : Registry.case) ->
+            if only c then
+              Some (Octopocs.job ~label:(string_of_int c.idx) ~s:c.s ~t:c.t ~poc:c.poc ())
+            else None)
+          cases
+      in
+      let key_of (c : Registry.case) = Octopocs.content_key ~s:c.s ~t:c.t ~poc:c.poc () in
+      let journal_to w label (r : Octopocs.report) =
+        let key =
+          match int_of_string_opt label with
+          | Some idx -> key_of (Registry.find idx)
+          | None -> ""
+        in
+        Journal.append w (Octopocs.encode_result ~label ~key r)
+      in
+      (* Reference: uninterrupted journaled run of all three pairs. *)
+      let w = Journal.create ~path () in
+      ignore (Octopocs.run_all ~on_settle:(journal_to w) (batch (fun _ -> true)));
+      Journal.close w;
+      let reference =
+        List.filter_map Octopocs.decode_result (Journal.replay path).Journal.records
+        |> List.map (fun (l, k, (r : Octopocs.report)) -> (l, k, r.verdict, r.degradations))
+        |> List.sort compare
+      in
+      check Alcotest.int "reference complete" 3 (List.length reference);
+      (* Interrupted: only pair 1 settles, then the process "dies" mid-
+         append.  Resume recovers the prefix, re-runs the rest, and the
+         journal must decode to the reference verdict set. *)
+      Sys.remove path;
+      let w1 = Journal.create ~path () in
+      ignore
+        (Octopocs.run_all ~on_settle:(journal_to w1)
+           (batch (fun c -> c.idx = 1)));
+      Journal.close w1;
+      append_raw path "\x30\x00\x00\x00\x00\x00\x00\x00torn";
+      let w2, records = Journal.open_resume ~path () in
+      let have =
+        List.filter_map Octopocs.decode_result records |> List.map (fun (l, _, _) -> l)
+      in
+      check Alcotest.(list string) "pair 1 recovered" [ "1" ] have;
+      ignore
+        (Octopocs.run_all ~on_settle:(journal_to w2)
+           (batch (fun c -> not (List.mem (string_of_int c.idx) have))));
+      Journal.close w2;
+      let resumed =
+        List.filter_map Octopocs.decode_result (Journal.replay path).Journal.records
+        |> List.map (fun (l, k, (r : Octopocs.report)) -> (l, k, r.verdict, r.degradations))
+        |> List.sort compare
+      in
+      check Alcotest.bool "resumed == uninterrupted" true (reference = resumed))
+
+let suite =
+  [
+    tc "journal: roundtrip with binary payloads" journal_roundtrip;
+    tc "journal: missing file is an empty journal" journal_missing_file_is_empty;
+    tc "journal: headerless garbage is torn, not fatal" journal_header_garbage_is_torn;
+    tc "journal: torn tail dropped, prefix recovered" journal_torn_tail_dropped;
+    tc "journal: short frame header dropped" journal_short_frame_header_dropped;
+    tc "journal: CRC corruption ends the valid prefix" journal_crc_corruption_ends_prefix;
+    tc "journal: absurd length field is torn" journal_absurd_length_is_torn;
+    tc "journal: open_resume truncates tear, appends clean" journal_open_resume_truncates_and_appends;
+    tc "journal: open_resume on fresh and garbage files" journal_open_resume_fresh_and_garbage;
+    tc "journal: injected torn write poisons the writer" journal_injected_torn_write;
+    tc "journal: append after close rejected, close idempotent" journal_append_after_close_rejected;
+    tc "journal: crc32 reference check value" crc32_check_value;
+    tc "codec: every verdict shape roundtrips" codec_roundtrip;
+    tc "codec: malformed records decode to None" codec_rejects_malformed;
+    tc "cache: content key stable, sensitive, inject-blind" content_key_stable_and_sensitive;
+    tc "watchdog: stalled worker requeued and rescued" watchdog_requeues_stalled_worker;
+    tc "watchdog: exhausted attempts settle as Stalled" watchdog_exhausted_attempts_settle_stalled;
+    tc "watchdog: heartbeat staves off requeue" watchdog_heartbeat_staves_off_requeue;
+    tc "watchdog: stale failure costs no retry" watchdog_stale_failure_costs_no_retry;
+    tc "batch: forced stall maps to 'worker stalled' Failure" run_all_maps_stall_to_failure;
+    tc "batch: fail-fast skips the rest, settles only the first" run_all_fail_fast_skips_rest;
+    tc "batch: on_settle covers every pair exactly once" run_all_on_settle_covers_every_pair;
+    tc "resume: merged journal equals uninterrupted run" resume_merge_equivalence;
+  ]

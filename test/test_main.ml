@@ -16,4 +16,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("extensions", Test_extensions.suite);
       ("robust", Test_robust.suite);
+      ("journal", Test_journal.suite);
     ]

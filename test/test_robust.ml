@@ -126,6 +126,84 @@ let ladder_rungs_escalate () =
   check Alcotest.bool "file degraded" true
     (degraded.sym_file_size < Octopocs.default_config.sym_file_size)
 
+let ladder_shares_one_deadline () =
+  (* The deadline budget is shared across the whole ladder: a retried rung
+     runs on whatever clock is left, never a fresh one.  Rung 1's attempt
+     burns the entire budget and fails rescuably; rung 2 must then never be
+     attempted, and the ORIGINAL failure stands with only the attempted
+     rung recorded. *)
+  let deadline = Deadline.after ~seconds:0.05 in
+  let r0 = Octopocs.failure_report "symbolic execution budget exhausted: loop retries" in
+  let attempts = ref 0 in
+  let attempt _cfg =
+    incr attempts;
+    while not (Deadline.expired deadline) do
+      ignore (Sys.opaque_identity (Deadline.remaining_s deadline))
+    done;
+    Octopocs.failure_report "constraint solver budget exhausted"
+  in
+  let rungs = Octopocs.ladder_rungs Octopocs.default_config in
+  check Alcotest.int "two rungs exist" 2 (List.length rungs);
+  let r = Octopocs.climb_ladder ~deadline ~attempt r0 rungs in
+  check Alcotest.int "rung 2 never attempted" 1 !attempts;
+  (match r.verdict with
+  | Octopocs.Failure msg ->
+      check Alcotest.string "original failure verbatim"
+        "symbolic execution budget exhausted: loop retries" msg
+  | v -> Alcotest.failf "expected Failure, got %s" (Octopocs.verdict_class v));
+  check Alcotest.(list string) "only the attempted rung recorded" [ "symex-escalate" ]
+    r.degradations
+
+let ladder_expired_before_first_rung () =
+  (* Expiry before any rung: the climb is a no-op — no attempts, no rungs
+     recorded, r0 untouched. *)
+  let deadline = Deadline.after ~seconds:0.0 in
+  let r0 = Octopocs.failure_report "deadline exceeded: taint analysis" in
+  let attempts = ref 0 in
+  let attempt _cfg =
+    incr attempts;
+    r0
+  in
+  let r =
+    Octopocs.climb_ladder ~deadline ~attempt r0 (Octopocs.ladder_rungs Octopocs.default_config)
+  in
+  check Alcotest.int "no rung attempted" 0 !attempts;
+  check Alcotest.(list string) "no rungs recorded" [] r.degradations
+
+let ladder_rescue_mid_climb_keeps_clock () =
+  (* A healthy deadline: rung 1 succeeds, and the success report carries
+     the climbed rung. *)
+  let deadline = Deadline.after ~seconds:60.0 in
+  let r0 = Octopocs.failure_report "constraint solver budget exhausted" in
+  let attempt _cfg =
+    {
+      (Octopocs.failure_report "unused") with
+      verdict = Octopocs.Triggered { poc' = "x"; ptype = Octopocs.Type_I };
+    }
+  in
+  let r =
+    Octopocs.climb_ladder ~deadline ~attempt r0 (Octopocs.ladder_rungs Octopocs.default_config)
+  in
+  (match r.verdict with
+  | Octopocs.Triggered _ -> ()
+  | v -> Alcotest.failf "expected Triggered, got %s" (Octopocs.verdict_class v));
+  check Alcotest.(list string) "rescuing rung recorded" [ "symex-escalate" ] r.degradations
+
+let pipeline_tiny_deadline_expires_mid_run () =
+  (* End-to-end: a not-quite-zero deadline expires at the first cooperative
+     check inside the pipeline; run must contain it as a structured Failure
+     with no ladder climb (the expired clock is shared, so every rung is
+     stillborn). *)
+  let c = Registry.find 1 in
+  let config = { Octopocs.default_config with deadline_s = Some 1e-9 } in
+  let r = Octopocs.run ~config ~s:c.s ~t:c.t ~poc:c.poc () in
+  (match r.verdict with
+  | Octopocs.Failure msg ->
+      check Alcotest.bool "deadline message" true
+        (String.length msg >= 17 && String.sub msg 0 17 = "deadline exceeded")
+  | v -> Alcotest.failf "expected Failure, got %s" (Octopocs.verdict_class v));
+  check Alcotest.(list string) "no rungs climbed" [] r.degradations
+
 let rescuable_classification () =
   List.iter
     (fun m -> check Alcotest.bool m true (Octopocs.rescuable_failure m))
@@ -425,6 +503,10 @@ let suite =
     tc "ladder: rescues budget exhaustion" ladder_rescues_budget_exhaustion;
     tc "ladder: total failure preserves original verbatim" ladder_total_failure_preserves_original;
     tc "ladder: rungs escalate then degrade" ladder_rungs_escalate;
+    tc "ladder: one deadline shared across rungs" ladder_shares_one_deadline;
+    tc "ladder: expired clock means zero attempts" ladder_expired_before_first_rung;
+    tc "ladder: mid-climb rescue records its rung" ladder_rescue_mid_climb_keeps_clock;
+    tc "pipeline: tiny deadline expires mid-run, structured" pipeline_tiny_deadline_expires_mid_run;
     tc "ladder: rescuable failure classification" rescuable_classification;
     tc "pool: map_result isolates crashes" map_result_isolates_crashes;
     tc "pool: map raises first error in input order" map_still_raises_first_error;

@@ -84,6 +84,18 @@ let registry_find () =
   Alcotest.check_raises "missing" (Invalid_argument "Registry.find: no case 99") (fun () ->
       ignore (Registry.find 99))
 
+let registry_find_opt_total () =
+  (* The CLI resolves untrusted indices through find_opt: every bad index
+     must be a [None], never an exception. *)
+  (match Registry.find_opt 7 with
+  | Some c -> check Alcotest.int "find_opt 7" 7 c.idx
+  | None -> Alcotest.fail "find_opt 7 missing");
+  List.iter
+    (fun idx ->
+      check Alcotest.bool (Printf.sprintf "find_opt %d is None" idx) true
+        (Registry.find_opt idx = None))
+    [ 0; -1; -7; 16; 99; max_int; min_int ]
+
 let table_subsets () =
   check Alcotest.(list int) "table3 = 1..9"
     (List.init 9 (fun i -> i + 1))
@@ -156,6 +168,7 @@ let suite =
     tc "registry: indices 1..15" registry_indices_unique_and_complete;
     tc "registry: expected distribution matches the paper" registry_expected_distribution;
     tc "registry: find" registry_find;
+    tc "registry: find_opt is total" registry_find_opt_total;
     tc "registry: table subsets" table_subsets;
     tc "S exits cleanly on empty input" s_accepts_benign_inputs;
     tc "T exits cleanly on empty input" t_accepts_empty_input;
