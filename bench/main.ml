@@ -439,6 +439,29 @@ let bench_json () =
     say "  (single-core machine: the pool clamps --jobs to 1, so the";
     say "   parallel run measures clamping overhead, not speedup)"
   end;
+  (* With --trace the bench process has metrics collection on: entries
+     carry a per-phase breakdown of one pipeline-pair1 run, so the JSON
+     answers "where did the time go" and not just "how much". *)
+  let phase_block =
+    if not (Octo_util.Metrics.is_on ()) then []
+    else begin
+      let c1 = Registry.find 1 in
+      let _, snap =
+        Octo_util.Metrics.scoped (fun () -> Octopocs.run ~s:c1.s ~t:c1.t ~poc:c1.poc ())
+      in
+      match snap with
+      | None -> []
+      | Some m ->
+          let fields =
+            List.map
+              (fun p ->
+                Printf.sprintf "    \"%s_ns\": %d" (Octo_util.Metrics.phase_name p)
+                  (Octo_util.Metrics.phase_total_ns m p))
+              Octo_util.Metrics.all_phases
+          in
+          [ "  \"phases_pipeline_pair1\": {"; String.concat ",\n" fields; "  }," ]
+    end
+  in
   let field (k, v) = Printf.sprintf "    %S: %.1f" k v in
   let speedups =
     List.filter_map
@@ -450,7 +473,9 @@ let bench_json () =
   in
   let json =
     String.concat "\n"
-      ([ "{"; "  \"schema\": \"octopocs-bench-solver/1\","; "  \"seed\": {" ]
+      ([ "{"; "  \"schema\": \"octopocs-bench-solver/1\"," ]
+      @ phase_block
+      @ [ "  \"seed\": {" ]
       @ [ String.concat ",\n" (List.map field seed_numbers) ]
       @ [ "  },"; "  \"current\": {" ]
       @ [ String.concat ",\n" (List.map field current) ]
@@ -627,16 +652,27 @@ let chaos ~schedules ~seed () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  let valued = [ "--schedules"; "--chaos-seed"; "--trace" ] in
   let rec split_opts modes opts = function
     | [] -> (List.rev modes, List.rev opts)
-    | ("--schedules" | "--chaos-seed") :: ([] as rest) | "--schedules" :: ("--chaos-seed" :: _ as rest)
-      -> failwith ("missing value for option before " ^ String.concat " " rest)
-    | (("--schedules" | "--chaos-seed") as k) :: v :: rest ->
-        split_opts modes ((k, int_of_string v) :: opts) rest
+    | [ k ] when List.mem k valued -> failwith ("missing value for option " ^ k)
+    | k :: v :: _ when List.mem k valued && List.mem v valued ->
+        failwith ("missing value for option " ^ k)
+    | k :: v :: rest when List.mem k valued -> split_opts modes ((k, v) :: opts) rest
     | a :: rest -> split_opts (a :: modes) opts rest
   in
   let args, opts = split_opts [] [] (List.tl (Array.to_list Sys.argv)) in
-  let opt k d = match List.assoc_opt k opts with Some v -> v | None -> d in
+  let opt k d =
+    match List.assoc_opt k opts with Some v -> int_of_string v | None -> d
+  in
+  (* --trace PATH: emit phase spans for everything the selected modes run,
+     and switch metrics collection on so bench entries carry phase
+     breakdowns. *)
+  (match List.assoc_opt "--trace" opts with
+  | Some path ->
+      Octo_util.Trace.enable ~path;
+      Octo_util.Metrics.enable ()
+  | None -> ());
   let want name = args = [] || List.mem name args in
   if want "table2" then table2 ();
   if want "table3" then table3 ();
@@ -650,6 +686,7 @@ let () =
       chaos ~schedules:(opt "--schedules" 8) ~seed:(opt "--chaos-seed" 42) ()
     else 0
   in
+  Octo_util.Trace.disable ();
   say "";
   say "done.";
   if chaos_violations > 0 then exit 1

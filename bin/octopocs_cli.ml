@@ -9,6 +9,12 @@
      fuzz <idx>       run the AFLFast baseline on the pair's T binary
      journal <path>   dump a verification journal (one line per settled
                       pair, sorted by label — diffable across runs)
+     trace <path>     validate a --trace JSONL file against the span
+                      schema (balanced begin/end, monotonic timestamps)
+
+   Observability: verify and verify-all take --trace PATH (Chrome
+   trace-viewer JSONL of the pipeline's phase spans) and --metrics
+   (per-pair counter/latency breakdowns, journaled with the verdicts).
 
    Exit codes report the verdict, not the paper-match status:
      0 = Triggered, 1 = Not_triggerable, 2 = Failure, 3 = tool/worker crash.
@@ -22,6 +28,8 @@ module Registry = Octo_targets.Registry
 module B = Octo_util.Bytes_util
 module Faultinject = Octo_util.Faultinject
 module Journal = Octo_util.Journal
+module Metrics = Octo_util.Metrics
+module Trace = Octo_util.Trace
 
 let say fmt = Format.printf (fmt ^^ "@.")
 
@@ -52,6 +60,22 @@ let pp_degradations (r : Octopocs.report) =
   if r.degradations <> [] then
     say "  degraded: %s" (String.concat " -> " r.degradations)
 
+(* Observability session: enable collection/tracing around [f] and always
+   tear it down (the trace file must be flushed and closed even when the
+   run fails).  Enable/disable happen outside any span, as Trace requires. *)
+let with_observability ~trace ~metrics f =
+  if metrics then Metrics.enable ();
+  (match trace with Some path -> Trace.enable ~path | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Metrics.disable ())
+    f
+
+let pp_pair_metrics ~indent (m : Metrics.snapshot) =
+  say "%sphases  : %s" indent (Fmt.str "%a" Metrics.pp_phases m);
+  say "%scounters: %s" indent (Fmt.str "%a" Metrics.pp_counters m)
+
 let run_one ?(dynamic = false) ?deadline ?chaos_seed (c : Registry.case) : Octopocs.report =
   say "Pair %d: S=%s(%s)  T=%s(%s)  %s [%s]" c.idx c.s.pname c.s_version c.t.pname c.t_version
     c.vuln_id c.cwe;
@@ -73,6 +97,7 @@ let run_one ?(dynamic = false) ?deadline ?chaos_seed (c : Registry.case) : Octop
     (Registry.expected_to_string c.expected);
   pp_degradations r;
   say "  elapsed : %.3fs" r.elapsed_s;
+  (match r.metrics with Some m -> pp_pair_metrics ~indent:"  " m | None -> ());
   (match r.verdict with
   | Octopocs.Triggered { poc'; _ } -> say "  poc' hexdump:@.%s" (B.hexdump poc')
   | _ -> ());
@@ -112,6 +137,21 @@ let chaos_seed_arg =
            ~doc:"Enable deterministic fault injection, deriving one independent \
                  fault stream per pair from $(docv).")
 
+(* Shared observability flags. *)
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"PATH"
+           ~doc:"Write phase spans (taint/cfg/symex/solve/combine/verify) to $(docv) \
+                 as Chrome-trace-viewer JSONL; load it in chrome://tracing or \
+                 ui.perfetto.dev.")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Collect per-pair counters and per-phase latency, print a breakdown \
+                 per pair plus batch totals, and journal each pair's snapshot with \
+                 its verdict.")
+
 let verify_cmd =
   let idx = Arg.(required & pos 0 (some int) None & info [] ~docv:"IDX") in
   let dynamic =
@@ -120,10 +160,11 @@ let verify_cmd =
              ~doc:"Repair CFG-recovery failures with dynamic devirtualization")
   in
   Cmd.v (Cmd.info "verify" ~doc:"Verify one Table II pair")
-    Term.(const (fun dynamic deadline chaos_seed idx ->
+    Term.(const (fun dynamic deadline chaos_seed trace metrics idx ->
               with_case idx (fun c ->
-                  verdict_exit (run_one ~dynamic ?deadline ?chaos_seed c)))
-          $ dynamic $ deadline_arg $ chaos_seed_arg $ idx)
+                  with_observability ~trace ~metrics (fun () ->
+                      verdict_exit (run_one ~dynamic ?deadline ?chaos_seed c))))
+          $ dynamic $ deadline_arg $ chaos_seed_arg $ trace_arg $ metrics_arg $ idx)
 
 (* ------------------------------------------------------------------ *)
 (* verify-all: journaled, resumable batch verification. *)
@@ -143,10 +184,15 @@ type batch_outcome = Fresh of Octopocs.report | Cached of Octopocs.report
 
 let report_of = function Fresh r | Cached r -> r
 
-let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall_grace =
+let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall_grace trace
+    metrics_on =
   if resume && journal_path = None then
     structured_error "--resume requires --journal PATH"
   else begin
+    with_observability ~trace ~metrics:metrics_on @@ fun () ->
+    (* Baseline for the batch's pool-level counters: metrics cells live for
+       the whole process, so the batch view is a diff, not an absolute. *)
+    let m0 = Metrics.aggregate () in
     let t0 = Unix.gettimeofday () in
     let config_of idx = config_for ~deadline ~chaos_seed idx in
     let key_of (c : Registry.case) =
@@ -243,7 +289,13 @@ let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall
               (if got = want then "MATCH" else Printf.sprintf "MISMATCH (want %s)" want)
               (match outcome with Cached _ -> "  [cached]" | Fresh _ -> "")
               (if r.degradations = [] then ""
-               else Printf.sprintf "  [degraded: %s]" (String.concat " -> " r.degradations)))
+               else Printf.sprintf "  [degraded: %s]" (String.concat " -> " r.degradations));
+            (* Per-pair phase breakdown, from the same snapshot that was
+               journaled with the verdict (cached pairs show the replayed
+               one). *)
+            match r.metrics with
+            | Some m when metrics_on -> say "         %s" (Fmt.str "%a" Metrics.pp_phases m)
+            | _ -> ())
           results;
         (* Per-verdict summary and the worst-verdict exit code. *)
         let count p = List.length (List.filter (fun (_, o) -> p (report_of o)) results) in
@@ -268,6 +320,23 @@ let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall
           (List.length results - !mismatches)
           (List.length results) elapsed
           (Octo_util.Pool.effective_jobs jobs);
+        (* Batch metrics: totals are the sum of the per-pair snapshots —
+           i.e. exactly what the journal recorded — so the summary and a
+           later `journal` dump agree by construction.  Pool retry/stall
+           counters live outside any pair's scope and come from the
+           process-wide aggregate instead. *)
+        if metrics_on then begin
+          let snaps = List.filter_map (fun (_, o) -> (report_of o).metrics) results in
+          let tot = Metrics.sum snaps in
+          say "metrics : %s  (summed over %d pair snapshot(s))"
+            (Fmt.str "%a" Metrics.pp_counters tot)
+            (List.length snaps);
+          say "phases  : %s" (Fmt.str "%a" Metrics.pp_phases tot);
+          let batch = Metrics.diff (Metrics.aggregate ()) m0 in
+          say "pool    : retries=%d stalls=%d"
+            (Metrics.counter_value batch Metrics.Pool_retries)
+            (Metrics.counter_value batch Metrics.Pool_stalls)
+        end;
         List.fold_left (fun acc (_, o) -> max acc (verdict_exit (report_of o))) 0 results
   end
 
@@ -323,7 +392,7 @@ let verify_all_cmd =
                faithful full run exits 2.)";
          ])
     Term.(const run_all $ jobs $ retries $ deadline_arg $ chaos_seed_arg $ journal $ resume
-          $ fail_fast $ stall_grace)
+          $ fail_fast $ stall_grace $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -395,11 +464,23 @@ let journal_dump path =
               Printf.sprintf " poc'=%s" (Digest.to_hex (Digest.string poc'))
           | _ -> ""
         in
-        say "pair %-4s key=%s %s%s%s" label key
+        (* Only deterministic counters appear in the dump (never latencies):
+           the dump's contract is that two equivalent runs diff clean. *)
+        let metrics_detail =
+          match rep.metrics with
+          | None -> ""
+          | Some m ->
+              Printf.sprintf " metrics[vm-steps=%d solver-nodes=%d constraint-adds=%d]"
+                (Metrics.counter_value m Metrics.Vm_steps)
+                (Metrics.counter_value m Metrics.Solver_nodes)
+                (Metrics.counter_value m Metrics.Constraint_adds)
+        in
+        say "pair %-4s key=%s %s%s%s%s" label key
           (Fmt.str "%a" Octopocs.pp_verdict rep.verdict)
           detail
           (if rep.degradations = [] then ""
-           else Printf.sprintf " [degraded: %s]" (String.concat " -> " rep.degradations)))
+           else Printf.sprintf " [degraded: %s]" (String.concat " -> " rep.degradations))
+          metrics_detail)
       entries;
     say "%d pair(s)%s%s" (List.length entries)
       (if !undecodable > 0 then Printf.sprintf ", %d undecodable record(s)" !undecodable
@@ -413,6 +494,27 @@ let journal_cmd =
   Cmd.v (Cmd.info "journal" ~doc:"Dump a verification journal")
     Term.(const journal_dump $ path)
 
+(* ------------------------------------------------------------------ *)
+(* trace: schema validation of a --trace output file.  Exit 0 on a valid
+   file, structured error and exit 2 otherwise — CI pins the span schema
+   with this. *)
+
+let trace_validate path =
+  match Trace.validate_file path with
+  | Ok s ->
+      say "trace OK: %d event(s), %d span(s), phases covered: %s" s.Trace.events s.Trace.spans
+        (match s.Trace.phases_covered with [] -> "(none)" | ps -> String.concat ", " ps);
+      0
+  | Error msg -> structured_error "invalid trace %s: %s" path msg
+
+let trace_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH") in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Validate a --trace JSONL file: balanced begin/end span events per domain, \
+             monotonic timestamps, known phase categories")
+    Term.(const trace_validate $ path)
+
 let () =
   (* Pool/worker diagnostics (swallowed task exceptions, retry notices) go
      through Logs; without a reporter they would be invisible. *)
@@ -423,7 +525,8 @@ let () =
      crash exit code instead of cmdliner's 125. *)
   match
     Cmd.eval' ~catch:false
-      (Cmd.group info [ verify_cmd; verify_all_cmd; inspect_cmd; fuzz_cmd; journal_cmd ])
+      (Cmd.group info
+         [ verify_cmd; verify_all_cmd; inspect_cmd; fuzz_cmd; journal_cmd; trace_cmd ])
   with
   | code -> exit code
   | exception e ->

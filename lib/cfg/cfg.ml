@@ -217,7 +217,9 @@ let build_cached ?allow_unresolved (prog : program) ~(ep : string) : t =
   let hit = List.find_opt (fun (p, e, _) -> p == prog && e = ep) !cache in
   Mutex.unlock cache_lock;
   match hit with
-  | Some (_, _, t) -> t
+  | Some (_, _, t) ->
+      Octo_util.Metrics.incr Octo_util.Metrics.Cache_hits;
+      t
   | None ->
       let t = build ?allow_unresolved prog ~ep in
       Mutex.lock cache_lock;

@@ -29,6 +29,8 @@ module Sym_state = Octo_symex.Sym_state
 module Clone = Octo_clone.Clone
 module Deadline = Octo_util.Deadline
 module Faultinject = Octo_util.Faultinject
+module Metrics = Octo_util.Metrics
+module Trace = Octo_util.Trace
 
 type not_triggerable_reason =
   | Ep_not_called           (** verification case (ii) *)
@@ -59,6 +61,11 @@ type report = {
           ["symex-escalate"; "sym-file-degrade"], ...  Empty for a clean
           first-attempt run. *)
   elapsed_s : float;
+  metrics : Metrics.snapshot option;
+      (** per-pair metrics delta (counters and per-phase latency) recorded
+          by the domain that ran this pair, when collection was enabled
+          ([--metrics] / {!Metrics.enable}); [None] otherwise.  Journaled
+          alongside the verdict. *)
 }
 
 let pp_reason ppf = function
@@ -91,6 +98,7 @@ let identify_ep ~(ell : string list) (crash : Interp.crash) : string option =
    execution. *)
 let place_bunches (bunches : Taint.bunch list) (st : Sym_state.t) ~count ~args ~file_pos :
     Directed.ep_action =
+  Trace.with_span Trace.Combine "place-bunch" @@ fun () ->
   match List.nth_opt bunches (count - 1) with
   | None -> Directed.Stop
   | Some (b : Taint.bunch) ->
@@ -198,6 +206,7 @@ let failure_report ?(degradations = []) msg =
     symex = None;
     degradations;
     elapsed_s = 0.0;
+    metrics = None;
   }
 
 (* One full pipeline pass under a fixed configuration and deadline.  The
@@ -218,6 +227,7 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
       symex;
       degradations = List.rev !degraded;
       elapsed_s = Unix.gettimeofday () -. t_start;
+      metrics = None;
     }
   in
   let ell =
@@ -244,6 +254,7 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
             (* P1: crash-primitive extraction. *)
             Deadline.check deadline ~what:"taint analysis";
             let taint_res =
+              Trace.with_span Trace.Taint "extract" @@ fun () ->
               Taint.extract ~mode:config.taint_mode ~granularity:config.taint_granularity s
                 ~poc ~ep
             in
@@ -258,6 +269,7 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
                  call targets; symbolic execution then runs on the repaired
                  binary while P4 verifies against the original. *)
               let cfg_result =
+                Trace.with_span Trace.Cfg "build" @@ fun () ->
                 match Cfg.build_cached t ~ep with
                 | cfg -> Ok (t, cfg)
                 | exception Cfg.Cfg_error msg ->
@@ -287,6 +299,7 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
                     Faultinject.maybe_raise inject Faultinject.Deadline_expiry
                       ~what:"directed symbolic execution";
                     let outcome, stats =
+                      Trace.with_span Trace.Symex "directed" @@ fun () ->
                       Directed.run ~config:config.symex ~sym_file_size:config.sym_file_size
                         ~deadline t_sym ~ep ~cfg ~on_ep:(place_bunches bunches)
                     in
@@ -318,6 +331,7 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
                               ~what:"verification";
                             let poc' = poc_of_model model ~length:st.max_read_off in
                             let t_run =
+                              Trace.with_span Trace.Verify "replay-poc'" @@ fun () ->
                               Interp.run ~max_steps:config.max_steps ~deadline ~inject t
                                 ~input:poc'
                             in
@@ -326,6 +340,7 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
                                  on T (its guiding input needed no
                                  reform). *)
                               let orig =
+                                Trace.with_span Trace.Verify "replay-poc" @@ fun () ->
                                 Interp.run ~max_steps:config.max_steps ~deadline ~inject t
                                   ~input:poc
                               in
@@ -440,12 +455,19 @@ let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(
         failure_report ("deadline exceeded: " ^ what)
     | exception Faultinject.Injected what -> failure_report ("injected fault: " ^ what)
   in
-  let finalize r = { r with elapsed_s = Unix.gettimeofday () -. t_start } in
-  let r0 = attempt config in
-  match r0.verdict with
-  | Failure msg when config.ladder && rescuable_failure msg ->
-      finalize (climb_ladder ~deadline ~attempt r0 (ladder_rungs config))
-  | _ -> finalize r0
+  (* The whole pair — first attempt plus any ladder rungs — is one trace
+     envelope (cat "pair") and one metrics scope, so report.metrics is the
+     per-pair delta recorded by this domain. *)
+  let r, m =
+    Metrics.scoped @@ fun () ->
+    Trace.with_cat_span ~cat:"pair" ~name:"pipeline" @@ fun () ->
+    let r0 = attempt config in
+    match r0.verdict with
+    | Failure msg when config.ladder && rescuable_failure msg ->
+        climb_ladder ~deadline ~attempt r0 (ladder_rungs config)
+    | _ -> r0
+  in
+  { r with elapsed_s = Unix.gettimeofday () -. t_start; metrics = m }
 
 (* ------------------------------------------------------------------ *)
 (* Batch verification. *)
@@ -536,7 +558,7 @@ let job_key ~config (j : job) =
    malformed record (a foreign or future-versioned journal must not crash
    the reader). *)
 
-let codec_version = "OPR1"
+let codec_version = "OPR2"
 
 let put_str b s =
   let l = Bytes.create 4 in
@@ -544,13 +566,37 @@ let put_str b s =
   Buffer.add_bytes b l;
   Buffer.add_string b s
 
+(* The codec is hand-rolled end to end — no [Marshal] on the decode path,
+   ever: [Marshal.from_string] on attacker-or-bitrot-controlled bytes can
+   segfault the process, and journal payloads survive crashes and disk
+   corruption by design.  Every field is length- or count-prefixed so the
+   decoder is total (returns [None], never raises, never reads OOB). *)
+let put_int b i =
+  let l = Bytes.create 8 in
+  Bytes.set_int64_le l 0 (Int64.of_int i);
+  Buffer.add_bytes b l
+
+let put_str_list b xs =
+  put_int b (List.length xs);
+  List.iter (put_str b) xs
+
+let put_int_array b a =
+  put_int b (Array.length a);
+  Array.iter (put_int b) a
+
+let put_metrics b (m : Metrics.snapshot) =
+  put_int_array b m.Metrics.counters;
+  put_int_array b m.Metrics.phase_count;
+  put_int_array b m.Metrics.phase_ns;
+  put_int_array b m.Metrics.phase_hist
+
 let encode_result ~label ~key (r : report) =
   let b = Buffer.create 256 in
   Buffer.add_string b codec_version;
   put_str b label;
   put_str b key;
   put_str b r.ep;
-  put_str b (Marshal.to_string r.ell []);
+  put_str_list b r.ell;
   (match r.verdict with
   | Triggered { poc'; ptype } ->
       Buffer.add_char b 'T';
@@ -568,8 +614,12 @@ let encode_result ~label ~key (r : report) =
   | Failure msg ->
       Buffer.add_char b 'F';
       put_str b msg);
-  put_str b (Marshal.to_string r.degradations []);
+  put_str_list b r.degradations;
   put_str b (Int64.to_string (Int64.bits_of_float r.elapsed_s));
+  (* Optional tail field: the metrics snapshot, when one was collected.
+     Decoders treat end-of-record here as [metrics = None], so records
+     written with collection off stay the same size as before. *)
+  (match r.metrics with None -> () | Some snap -> put_metrics b snap);
   Buffer.contents b
 
 let decode_result (s : string) : (string * string * report) option =
@@ -591,12 +641,36 @@ let decode_result (s : string) : (string * string * report) option =
     if len < 0 || len > n - !pos then raise Bad;
     take len
   in
+  let get_int () =
+    let s = take 8 in
+    Int64.to_int (Bytes.get_int64_le (Bytes.unsafe_of_string s) 0)
+  in
+  let get_str_list () =
+    let k = get_int () in
+    (* Each element costs at least its 4-byte length prefix, so a count
+       beyond the remaining bytes is corrupt — reject before allocating. *)
+    if k < 0 || k > (n - !pos) / 4 then raise Bad;
+    List.init k (fun _ -> get_str ())
+  in
+  let get_int_array expect =
+    if get_int () <> expect then raise Bad;
+    Array.init expect (fun _ -> get_int ())
+  in
+  let get_metrics () =
+    (* Sequenced lets: record-field evaluation order is unspecified, and
+       these reads must consume the stream in write order. *)
+    let counters = get_int_array Metrics.ncounters in
+    let phase_count = get_int_array Metrics.nphases in
+    let phase_ns = get_int_array Metrics.nphases in
+    let phase_hist = get_int_array (Metrics.nphases * Metrics.nbuckets) in
+    { Metrics.counters; phase_count; phase_ns; phase_hist }
+  in
   match
     if take 4 <> codec_version then raise Bad;
     let label = get_str () in
     let key = get_str () in
     let ep = get_str () in
-    let ell : string list = Marshal.from_string (get_str ()) 0 in
+    let ell = get_str_list () in
     let verdict =
       match (take 1).[0] with
       | 'T' ->
@@ -615,20 +689,32 @@ let decode_result (s : string) : (string * string * report) option =
       | 'F' -> Failure (get_str ())
       | _ -> raise Bad
     in
-    let degradations : string list = Marshal.from_string (get_str ()) 0 in
+    let degradations = get_str_list () in
     let elapsed_s =
       match Int64.of_string_opt (get_str ()) with
       | Some bits -> Int64.float_of_bits bits
       | None -> raise Bad
     in
+    let metrics : Metrics.snapshot option =
+      if !pos = n then None else Some (get_metrics ())
+    in
     if !pos <> n then raise Bad;
     ( label,
       key,
-      { verdict; ep; ell; bunches = []; taint = None; symex = None; degradations; elapsed_s } )
+      {
+        verdict;
+        ep;
+        ell;
+        bunches = [];
+        taint = None;
+        symex = None;
+        degradations;
+        elapsed_s;
+        metrics;
+      } )
   with
   | r -> Some r
   | exception Bad -> None
-  | exception Failure _ -> None (* Marshal.from_string on truncated data *)
 
 (* ------------------------------------------------------------------ *)
 

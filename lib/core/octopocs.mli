@@ -8,6 +8,7 @@
 
 module Taint = Octo_taint.Taint
 module Directed = Octo_symex.Directed
+module Metrics = Octo_util.Metrics
 
 (** Why a vulnerability was proven not triggerable — the paper's
     verification cases (ii), (iii) and the constraint-conflict outcomes. *)
@@ -48,6 +49,12 @@ type report = {
           applied (e.g. ["dynamic-cfg"], ["symex-escalate"]); empty for a
           clean first-attempt run *)
   elapsed_s : float;
+  metrics : Metrics.snapshot option;
+      (** per-pair metrics delta (counters and per-phase latency histogram)
+          recorded by the domain that ran this pair, when collection was
+          enabled ({!Octo_util.Metrics.enable} / [--metrics]); [None]
+          otherwise.  Persisted by {!encode_result} as an optional tail
+          field, so pre-metrics journals stay decodable. *)
 }
 
 val pp_reason : Format.formatter -> not_triggerable_reason -> unit

@@ -371,6 +371,7 @@ let pop_cons s (id : int) =
     unsatisfiable (a domain emptied); [Ok] means it may still be
     satisfiable. *)
 let add s (c : Expr.cond) : add_result =
+  Octo_util.Metrics.incr Octo_util.Metrics.Constraint_adds;
   let id = push_cons s c in
   s.queued.(id) <- true;
   Queue.add id s.queue;
@@ -385,6 +386,7 @@ let add s (c : Expr.cond) : add_result =
     chooser probe one direction and cleanly fall back to the other without
     poisoning the store (directed execution's push/pop at branch points). *)
 let add_checked s (c : Expr.cond) : add_result =
+  Octo_util.Metrics.incr Octo_util.Metrics.Constraint_adds;
   let was = s.trailing in
   s.trailing <- true;
   let m = mark s in
@@ -466,6 +468,7 @@ let check_fixed s =
     would. *)
 let solve ?(budget = 200_000) ?(deadline = Deadline.none) ?(inject = Faultinject.none)
     (s : store) : solve_result =
+  Octo_util.Trace.with_span Octo_util.Trace.Solve "model-search" @@ fun () ->
   if Faultinject.fire inject Faultinject.Solver_budget then Unknown
   else begin
   let nodes = ref 0 in
@@ -513,7 +516,8 @@ let solve ?(budget = 200_000) ?(deadline = Deadline.none) ?(inject = Faultinject
   let m0 = mark s in
   let restore () =
     undo_to s m0;
-    s.trailing <- was
+    s.trailing <- was;
+    Octo_util.Metrics.add Octo_util.Metrics.Solver_nodes !nodes
   in
   match go vars with
   | () ->

@@ -49,9 +49,12 @@ type stats = {
   mutable total_steps : int;
   mutable branches_decided : int;
   mutable loop_retries : int;
+  mutable states_pruned : int;
+      (** branch directions refuted as unsat by [take_branch] *)
 }
 
-let fresh_stats () = { runs = 0; total_steps = 0; branches_decided = 0; loop_retries = 0 }
+let fresh_stats () =
+  { runs = 0; total_steps = 0; branches_decided = 0; loop_retries = 0; states_pruned = 0 }
 
 let pp_failure ppf = function
   | Program_dead -> Fmt.pf ppf "program-dead (ℓ unreachable)"
@@ -145,14 +148,20 @@ let run_once ~(config : config) ~(deadline : Deadline.t) ~(distance : string -> 
             if record_exit then last_loop_exit := Some loop_key;
             go ()
           end
-          else if Sym_state.take_branch st br ~taken:(not preferred) then begin
-            (* Fallback direction; if we were forced OUT of a loop that we
-               wanted to continue, that is also an exit event. *)
-            if is_loop && not preferred = not continue_dir then
-              last_loop_exit := Some loop_key;
-            go ()
-          end
-          else A_dead !last_loop_exit)
+          else begin
+            stats.states_pruned <- stats.states_pruned + 1;
+            if Sym_state.take_branch st br ~taken:(not preferred) then begin
+              (* Fallback direction; if we were forced OUT of a loop that we
+                 wanted to continue, that is also an exit event. *)
+              if is_loop && not preferred = not continue_dir then
+                last_loop_exit := Some loop_key;
+              go ()
+            end
+            else begin
+              stats.states_pruned <- stats.states_pruned + 1;
+              A_dead !last_loop_exit
+            end
+          end)
   in
   let r = go () in
   stats.runs <- stats.runs + 1;
@@ -197,5 +206,8 @@ let run ?(config = default_config) ?(sym_file_size = Sym_state.default_sym_file_
               attempt (n + 1)
             end
     in
-    (attempt 0, stats)
+    let outcome = attempt 0 in
+    Octo_util.Metrics.add Octo_util.Metrics.Symex_states_forked stats.branches_decided;
+    Octo_util.Metrics.add Octo_util.Metrics.Symex_states_pruned stats.states_pruned;
+    (outcome, stats)
   end

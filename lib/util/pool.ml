@@ -125,6 +125,7 @@ let run_task ~retries f x =
     | exception e ->
         let bt = Printexc.get_raw_backtrace () in
         if k < retries then begin
+          Metrics.incr Metrics.Pool_retries;
           Logs.warn (fun m ->
               m "Pool: task raised %s; retrying (%d/%d)" (Printexc.to_string e) (k + 1) retries);
           attempt (k + 1)
@@ -135,8 +136,12 @@ let run_task ~retries f x =
 
 exception Stalled of string
 (** A task that outlived the watchdog grace with no retries left.  The
-    payload describes the silence (grace and attempt count); there is no
-    meaningful backtrace — the wedged attempt is still running somewhere. *)
+    payload describes the silence (grace and attempt count) and — when
+    earlier attempts of the same task raised *after* stamping their
+    heartbeat — says so explicitly, so a crash-then-stall is
+    distinguishable from a pure wedge in the structured failure.  There
+    is no meaningful backtrace — the wedged attempt is still running
+    somewhere. *)
 
 let () =
   Printexc.register_printer (function
@@ -172,6 +177,10 @@ type wd_slot = {
   mutable wattempts : int;  (* retries consumed, by crash or by stall *)
   mutable wsettling : bool; (* claim flag: holds the slot while the settle
                                callback runs outside the lock *)
+  mutable wraised : int;    (* attempts that raised after their heartbeat
+                               stamp (counted crash-retries only, so the
+                               final Stalled message stays deterministic) *)
+  mutable wlast_raise : string; (* printable exception of the last one *)
 }
 
 let map_result_watchdog ~retries ~grace ~on_settle pool f items =
@@ -181,7 +190,15 @@ let map_result_watchdog ~retries ~grace ~on_settle pool f items =
   let out = Array.make n None in
   let st =
     Array.init n (fun _ ->
-        { wstate = `Queued; wstarted = 0L; wgen = 0; wattempts = 0; wsettling = false })
+        {
+          wstate = `Queued;
+          wstarted = 0L;
+          wgen = 0;
+          wattempts = 0;
+          wsettling = false;
+          wraised = 0;
+          wlast_raise = "";
+        })
   in
   let remaining = ref n in
   let lock = Mutex.create () in
@@ -235,18 +252,24 @@ let map_result_watchdog ~retries ~grace ~on_settle pool f items =
           if s.wstate = `Settled || s.wsettling || s.wgen <> my_gen then begin
             (* Superseded by the watchdog: the fresh attempt owns the slot
                now, so this stale failure is discarded without consuming a
-               retry. *)
+               retry.  Tagged distinctly from a live crash — this exception
+               was raised after the attempt's heartbeat went silent. *)
             Mutex.unlock lock;
             Logs.debug (fun m ->
-                m "Pool: stale attempt of task %d raised %s; discarded" i
-                  (Printexc.to_string e))
+                m
+                  "Pool: task %d raised %s after its heartbeat went silent \
+                   (attempt superseded; not a retry)"
+                  i (Printexc.to_string e))
           end
           else if s.wattempts < retries then begin
             s.wattempts <- s.wattempts + 1;
+            s.wraised <- s.wraised + 1;
+            s.wlast_raise <- Printexc.to_string e;
             s.wgen <- s.wgen + 1;
             let g = s.wgen and a = s.wattempts in
             s.wstate <- `Queued;
             Mutex.unlock lock;
+            Metrics.incr Metrics.Pool_retries;
             Logs.warn (fun m ->
                 m "Pool: task %d raised %s; retrying (%d/%d)" i (Printexc.to_string e) a
                   retries);
@@ -281,24 +304,37 @@ let map_result_watchdog ~retries ~grace ~on_settle pool f items =
                     s.wstate <- `Queued;
                     requeues := (i, s.wgen, s.wattempts) :: !requeues
                   end
-                  else stalls := (i, s.wattempts) :: !stalls)
+                  else stalls := (i, s.wattempts, s.wraised, s.wlast_raise) :: !stalls)
               st;
             Mutex.unlock lock;
             List.iter
               (fun (i, g, a) ->
+                Metrics.incr Metrics.Pool_retries;
                 Logs.warn (fun m ->
                     m "Pool: task %d silent past %.2fs grace; requeued (%d/%d)" i grace a
                       retries);
                 submit pool (attempt i g))
               !requeues;
             List.iter
-              (fun (i, a) ->
+              (fun (i, a, raised, last_raise) ->
+                (* Distinguish a pure wedge from a crash-then-stall: when
+                   earlier attempts raised after stamping their heartbeat,
+                   say so in the structured failure instead of reporting
+                   only silence. *)
                 let msg =
-                  Printf.sprintf "no heartbeat for %.2fs (attempt %d/%d)" grace (a + 1)
-                    (retries + 1)
+                  if raised = 0 then
+                    Printf.sprintf "no heartbeat for %.2fs (attempt %d/%d)" grace (a + 1)
+                      (retries + 1)
+                  else
+                    Printf.sprintf
+                      "no heartbeat for %.2fs (attempt %d/%d); %d earlier attempt(s) \
+                       crashed after their heartbeat, last: %s"
+                      grace (a + 1) (retries + 1) raised last_raise
                 in
-                if settle i (Stdlib.Error (Stalled msg, Printexc.get_callstack 0)) then
-                  Logs.err (fun m -> m "Pool: task %d stalled; retries exhausted" i))
+                if settle i (Stdlib.Error (Stalled msg, Printexc.get_callstack 0)) then begin
+                  Metrics.incr Metrics.Pool_stalls;
+                  Logs.err (fun m -> m "Pool: task %d stalled; retries exhausted" i)
+                end)
               !stalls;
             watch ()
           end

@@ -322,6 +322,7 @@ let run ?(hooks = no_hooks) ?(max_steps = default_max_steps) ?(deadline = Deadli
             backtrace = backtrace ();
           }
   in
+  Octo_util.Metrics.add Octo_util.Metrics.Vm_steps !steps;
   { outcome; outputs = List.rev !outputs; steps = !steps }
 
 (** [crashes result] is true when the run ended in any fault. *)

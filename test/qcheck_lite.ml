@@ -1,0 +1,86 @@
+(* A miniature property-testing harness over the repo's own splitmix64
+   generator ({!Octo_util.Rng}) — no new dependencies, fully deterministic
+   (fixed seed per property), and shrink-free by design: failing cases
+   print their seed and iteration so the exact input is one [Rng.create]
+   away.
+
+   A ['a gen] is just a function from an Rng state to a value; combinators
+   compose them the usual way.  [check_prop] drives N iterations and
+   raises an Alcotest failure naming the (seed, iteration) of the first
+   counterexample, so failures reproduce bit-for-bit. *)
+
+module Rng = Octo_util.Rng
+
+type 'a gen = Rng.t -> 'a
+
+let return x : 'a gen = fun _ -> x
+let map f (g : 'a gen) : 'b gen = fun rng -> f (g rng)
+let bind (g : 'a gen) (f : 'a -> 'b gen) : 'b gen = fun rng -> f (g rng) rng
+let pair (ga : 'a gen) (gb : 'b gen) : ('a * 'b) gen =
+ fun rng ->
+  let a = ga rng in
+  let b = gb rng in
+  (a, b)
+
+(** [int_range lo hi] draws uniformly from the inclusive range. *)
+let int_range lo hi : int gen =
+ fun rng ->
+  if hi < lo then invalid_arg "Qcheck_lite.int_range";
+  lo + Rng.int rng (hi - lo + 1)
+
+let bool : bool gen = fun rng -> Rng.bool rng
+
+(** [byte_string n] draws [n] arbitrary bytes — binary-safe on purpose
+    (codec round-trips must survive NUL and high bytes). *)
+let byte_string (glen : int gen) : string gen =
+ fun rng ->
+  let n = glen rng in
+  String.init n (fun _ -> Char.chr (Rng.byte rng))
+
+let list_of (glen : int gen) (g : 'a gen) : 'a list gen =
+ fun rng ->
+  let n = glen rng in
+  List.init n (fun _ -> g rng)
+
+let oneof (gs : 'a gen array) : 'a gen =
+ fun rng ->
+  if Array.length gs = 0 then invalid_arg "Qcheck_lite.oneof";
+  gs.(Rng.int rng (Array.length gs)) rng
+
+(** [frequency [(w1, g1); ...]] picks a generator with probability
+    proportional to its weight. *)
+let frequency (wgs : (int * 'a gen) list) : 'a gen =
+ fun rng ->
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 wgs in
+  if total <= 0 then invalid_arg "Qcheck_lite.frequency";
+  let k = Rng.int rng total in
+  let rec pick acc = function
+    | [] -> assert false
+    | (w, g) :: rest -> if k < acc + w then g rng else pick (acc + w) rest
+  in
+  pick 0 wgs
+
+(** [check_prop ~name ?count ~seed gen prop] runs [prop] on [count]
+    (default 200) generated values.  [prop] either returns [true] (pass),
+    returns [false], or raises — both failures are reported with the seed
+    and iteration index that produced the counterexample. *)
+let check_prop ~name ?(count = 200) ~seed (g : 'a gen) (prop : 'a -> bool) () =
+  let rng = Rng.create seed in
+  for i = 1 to count do
+    (* One split per iteration: a property that consumes a variable amount
+       of randomness cannot desynchronize later iterations. *)
+    let case_rng = Rng.split rng in
+    let x = g case_rng in
+    let ok =
+      try prop x
+      with e ->
+        Alcotest.failf "%s: raised %s (seed=%d, iteration=%d)" name (Printexc.to_string e)
+          seed i
+    in
+    if not ok then Alcotest.failf "%s: property falsified (seed=%d, iteration=%d)" name seed i
+  done
+
+(** [test_case name ~seed ?count gen prop] wraps {!check_prop} as an
+    Alcotest quick case. *)
+let test_case name ?count ~seed g prop =
+  Alcotest.test_case name `Quick (check_prop ~name ?count ~seed g prop)

@@ -1,0 +1,57 @@
+(* Golden regression test pinning Table II.
+
+   Every registry pair is run at DEFAULT budgets and the resulting
+   (pair, verdict-class, degradations) tuples are compared line-for-line
+   against the checked-in [test/golden_table2.txt].  Any behavior change
+   that moves a verdict or climbs a ladder rung shows up as a readable
+   diff here, not as a silent drift.
+
+   Regeneration (after an INTENTIONAL change, from the repo root):
+
+     OCTOPOCS_REGEN_GOLDEN=$PWD/test/golden_table2.txt dune runtest --force
+
+   The test then rewrites the golden file in place and passes; review and
+   commit the diff. *)
+
+module Registry = Octo_targets.Registry
+
+let golden_path = "golden_table2.txt"
+
+let render_lines () =
+  List.map
+    (fun (c : Registry.case) ->
+      let r = Octopocs.run ~s:c.s ~t:c.t ~poc:c.poc () in
+      Printf.sprintf "pair %-2d %-8s %s" c.idx
+        (Octopocs.verdict_class r.verdict)
+        (match r.degradations with [] -> "-" | ds -> String.concat "," ds))
+    Registry.all
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let golden_test () =
+  let lines = render_lines () in
+  match Sys.getenv_opt "OCTOPOCS_REGEN_GOLDEN" with
+  | Some out when out <> "" ->
+      let oc = open_out out in
+      List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+      close_out oc;
+      Printf.printf "regenerated %s (%d lines)\n" out (List.length lines)
+  | _ ->
+      if not (Sys.file_exists golden_path) then
+        Alcotest.failf
+          "%s missing — regenerate with OCTOPOCS_REGEN_GOLDEN=$PWD/test/%s dune runtest \
+           --force"
+          golden_path golden_path;
+      Alcotest.(check (list string)) "Table II verdicts and degradations" (read_lines golden_path)
+        lines
+
+let suite = [ Alcotest.test_case "Table II golden (default budgets)" `Quick golden_test ]

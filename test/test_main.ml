@@ -17,4 +17,8 @@ let () =
       ("extensions", Test_extensions.suite);
       ("robust", Test_robust.suite);
       ("journal", Test_journal.suite);
+      ("trace", Test_trace.suite);
+      ("prop", Test_prop.suite);
+      ("stress", Test_stress.suite);
+      ("golden", Test_golden.suite);
     ]

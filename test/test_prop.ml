@@ -1,0 +1,286 @@
+(* Property-based tests (Qcheck_lite over the repo's splitmix64 Rng) for
+   the durable run layer:
+
+   - the OPR1 verdict codec round-trips arbitrary reports exactly
+     ([decode_result (encode_result r) = r] on the persisted fields), and
+     is total on garbage;
+   - the journal reader ([Journal.replay] / [Journal.parse]) never raises
+     on corrupted files — random byte-flips and truncations of a valid
+     journal always yield a valid prefix of the original records. *)
+
+module Q = Qcheck_lite
+module Journal = Octo_util.Journal
+module Metrics = Octo_util.Metrics
+
+(* -- generators -------------------------------------------------------- *)
+
+let gen_label : string Q.gen = Q.map string_of_int (Q.int_range 0 99)
+let gen_key : string Q.gen = Q.byte_string (Q.int_range 0 40)
+
+(* Arbitrary binary strings, NULs and high bytes included: poc' bytes are
+   raw model output and the codec must be binary-safe. *)
+let gen_poc : string Q.gen = Q.byte_string (Q.int_range 0 64)
+
+let gen_reason : Octopocs.not_triggerable_reason Q.gen =
+  Q.oneof
+    [|
+      Q.return Octopocs.Ep_not_called;
+      Q.return Octopocs.Program_dead;
+      Q.return Octopocs.Unsat_model;
+      Q.map (fun k -> Octopocs.Constraint_conflict k) (Q.int_range 0 1000);
+    |]
+
+let gen_verdict : Octopocs.verdict Q.gen =
+  Q.frequency
+    [
+      ( 3,
+        Q.map
+          (fun (poc', b) ->
+            Octopocs.Triggered
+              { poc'; ptype = (if b then Octopocs.Type_I else Octopocs.Type_II) })
+          (Q.pair gen_poc Q.bool) );
+      (3, Q.map (fun r -> Octopocs.Not_triggerable r) gen_reason);
+      (2, Q.map (fun m -> Octopocs.Failure m) (Q.byte_string (Q.int_range 0 80)));
+    ]
+
+let gen_degradations : string list Q.gen =
+  Q.list_of (Q.int_range 0 3)
+    (Q.oneof
+       [|
+         Q.return "dynamic-cfg"; Q.return "symex-escalate"; Q.return "sym-file-degrade";
+       |])
+
+let gen_metrics : Metrics.snapshot option Q.gen =
+ fun rng ->
+  if Q.bool rng then None
+  else begin
+    let s = Metrics.zero () in
+    List.iter
+      (fun c -> s.Metrics.counters.(Metrics.counter_index c) <- Q.int_range 0 100000 rng)
+      Metrics.all_counters;
+    List.iter
+      (fun p ->
+        let i = Metrics.phase_index p in
+        s.Metrics.phase_count.(i) <- Q.int_range 0 50 rng;
+        s.Metrics.phase_ns.(i) <- Q.int_range 0 1_000_000 rng)
+      Metrics.all_phases;
+    Some s
+  end
+
+let gen_report : Octopocs.report Q.gen =
+ fun rng ->
+  let verdict = gen_verdict rng in
+  let ep = Q.byte_string (Q.int_range 0 12) rng in
+  let ell = Q.list_of (Q.int_range 0 4) (Q.byte_string (Q.int_range 1 10)) rng in
+  let degradations = gen_degradations rng in
+  let elapsed_s = float_of_int (Q.int_range 0 10_000 rng) /. 1000. in
+  let metrics = gen_metrics rng in
+  {
+    (Octopocs.failure_report "") with
+    verdict;
+    ep;
+    ell;
+    degradations;
+    elapsed_s;
+    metrics;
+  }
+
+let gen_labelled_report : (string * string * Octopocs.report) Q.gen =
+ fun rng -> (gen_label rng, gen_key rng, gen_report rng)
+
+(* -- codec round-trip -------------------------------------------------- *)
+
+let verdict_eq a b =
+  match (a, b) with
+  | Octopocs.Triggered x, Octopocs.Triggered y -> x.poc' = y.poc' && x.ptype = y.ptype
+  | Octopocs.Not_triggerable x, Octopocs.Not_triggerable y -> x = y
+  | Octopocs.Failure x, Octopocs.Failure y -> x = y
+  | _ -> false
+
+let metrics_eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> Metrics.equal x y
+  | _ -> false
+
+let roundtrip_ok (label, key, (r : Octopocs.report)) =
+  match Octopocs.decode_result (Octopocs.encode_result ~label ~key r) with
+  | None ->
+      Printf.eprintf
+        "roundtrip: decode_result returned None (label=%S key_len=%d verdict=%s ell=%d \
+         degr=%d metrics=%b)\n\
+         %!"
+        label (String.length key)
+        (match r.verdict with
+        | Octopocs.Triggered _ -> "T"
+        | Octopocs.Not_triggerable (Octopocs.Constraint_conflict k) ->
+            Printf.sprintf "Nc(%d)" k
+        | Octopocs.Not_triggerable _ -> "N"
+        | Octopocs.Failure _ -> "F")
+        (List.length r.ell)
+        (List.length r.degradations)
+        (r.metrics <> None);
+      false
+  | Some (label', key', r') ->
+      let checks =
+        [
+          ("label", label' = label);
+          ("key", key' = key);
+          ("verdict", verdict_eq r'.verdict r.verdict);
+          ("ep", r'.ep = r.ep);
+          ("ell", r'.ell = r.ell);
+          ("degradations", r'.degradations = r.degradations);
+          ("elapsed_s", r'.elapsed_s = r.elapsed_s);
+          ("metrics", metrics_eq r'.metrics r.metrics);
+        ]
+      in
+      List.iter
+        (fun (f, ok) -> if not ok then Printf.eprintf "roundtrip: field %s differs\n%!" f)
+        checks;
+      List.for_all snd checks
+
+(* decode_result must be total: arbitrary bytes are Some _ or None, never
+   an escaped exception.  (Records that happen to parse are fine — the
+   property is totality, not rejection.) *)
+let decode_total s =
+  match Octopocs.decode_result s with Some _ | None -> true
+
+(* Flipping any single byte of a valid encoding must not crash the
+   decoder.  (It MAY still decode: a flip inside poc' bytes or a label is
+   not detectable by the codec itself — record integrity is the journal
+   CRC's job, exercised below.) *)
+let flip_safe ((label, key, r), (pos_frac, newbyte)) =
+  let enc = Octopocs.encode_result ~label ~key r in
+  if String.length enc = 0 then true
+  else begin
+    let pos = pos_frac mod String.length enc in
+    let b = Bytes.of_string enc in
+    Bytes.set b pos (Char.chr newbyte);
+    decode_total (Bytes.to_string b)
+  end
+
+(* Truncating a valid encoding anywhere must decode to None (every field
+   is length-prefixed, so a shorter record is always detectably short) —
+   and, above all, must not raise. *)
+let truncate_none ((label, key, r), cut_frac) =
+  let enc = Octopocs.encode_result ~label ~key r in
+  let n = String.length enc in
+  if n = 0 then true
+  else begin
+    let cut = cut_frac mod n in
+    match Octopocs.decode_result (String.sub enc 0 cut) with
+    | Some _ -> false
+    | None -> true
+  end
+
+(* -- journal corruption ------------------------------------------------ *)
+
+(* Build a valid journal of the given payloads on disk, return its path.
+   Callers corrupt the bytes afterwards. *)
+let write_journal payloads =
+  let path = Filename.temp_file "octoprop" ".jrnl" in
+  Sys.remove path;
+  let w = Journal.create ~fsync:false ~path () in
+  List.iter (Journal.append w) payloads;
+  Journal.close w;
+  path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let is_prefix_of shorter longer =
+  let rec go a b =
+    match (a, b) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys -> x = y && go xs ys
+  in
+  go shorter longer
+
+(* The central robustness property of the durable layer: ANY byte flip in
+   a valid journal leaves [replay] returning a valid prefix (CRC framing
+   detects the damaged record and everything after it is dropped; damage
+   in record k never corrupts records before k), and never raises. *)
+let corrupt_prop ((payloads, flips) : string list * (int * int) list) =
+  let path = write_journal payloads in
+  let ok =
+    try
+      let orig = (Journal.replay path).records in
+      let data = Bytes.of_string (read_file path) in
+      List.iter
+        (fun (pos_frac, newbyte) ->
+          if Bytes.length data > 0 then
+            Bytes.set data (pos_frac mod Bytes.length data) (Char.chr newbyte))
+        flips;
+      write_file path (Bytes.to_string data);
+      let r = Journal.replay path in
+      is_prefix_of r.records orig
+    with e ->
+      Sys.remove path;
+      raise e
+  in
+  Sys.remove path;
+  ok
+
+(* Same property for truncation at every possible length: the reader
+   must degrade to a valid prefix, bit-for-bit, with the torn flag set
+   whenever anything was actually lost mid-record. *)
+let truncate_prop ((payloads, cut_frac) : string list * int) =
+  let path = write_journal payloads in
+  let ok =
+    try
+      let orig = (Journal.replay path).records in
+      let data = read_file path in
+      let cut = if String.length data = 0 then 0 else cut_frac mod (String.length data + 1) in
+      write_file path (String.sub data 0 cut);
+      let r = Journal.replay path in
+      is_prefix_of r.records orig
+    with e ->
+      Sys.remove path;
+      raise e
+  in
+  Sys.remove path;
+  ok
+
+(* -- suite ------------------------------------------------------------- *)
+
+let gen_payloads : string list Q.gen =
+  Q.list_of (Q.int_range 0 6)
+    (Q.map
+       (fun (label, key, r) -> Octopocs.encode_result ~label ~key r)
+       gen_labelled_report)
+
+let gen_flips : (int * int) list Q.gen =
+  Q.list_of (Q.int_range 1 4) (Q.pair (Q.int_range 0 1_000_000) (Q.int_range 0 255))
+
+let suite =
+  [
+    Q.test_case "codec: random reports round-trip exactly" ~seed:0xC0DEC ~count:300
+      gen_labelled_report roundtrip_ok;
+    Q.test_case "codec: decode is total on random bytes" ~seed:0xBAD ~count:300
+      (Q.byte_string (Q.int_range 0 200))
+      decode_total;
+    Q.test_case "codec: single byte-flips never crash the decoder" ~seed:0xF11B ~count:300
+      (Q.pair gen_labelled_report (Q.pair (Q.int_range 0 1_000_000) (Q.int_range 0 255)))
+      flip_safe;
+    Q.test_case "codec: truncations decode to None, never raise" ~seed:0x7C ~count:300
+      (Q.pair gen_labelled_report (Q.int_range 0 1_000_000))
+      truncate_none;
+    Q.test_case "journal: random byte-flips -> replay returns a valid prefix" ~seed:0x10F1
+      ~count:60
+      (Q.pair gen_payloads gen_flips)
+      corrupt_prop;
+    Q.test_case "journal: random truncations -> replay returns a valid prefix" ~seed:0x7210
+      ~count:60
+      (Q.pair gen_payloads (Q.int_range 0 1_000_000))
+      truncate_prop;
+  ]
