@@ -492,6 +492,185 @@ let bench_json () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Perf-history ledger + regression gate.
+
+   [bench] appends one flat JSON line per run to BENCH_history.jsonl: the
+   per-pair DETERMINISTIC work counters (vm steps, solver nodes, constraint
+   adds, states forked/pruned — pure functions of the pair and the default
+   config, identical on any machine) plus wall-clock timings (machine-
+   dependent, recorded for trend-reading only).
+
+   [gate] re-measures the deterministic counters and compares them against
+   the LAST committed entry: any counter more than 10% above its baseline
+   fails the gate (exit 1).  Timings are printed but never gate — CI
+   machines are too noisy for wall-clock assertions, while the counters
+   catch real regressions (a solver that suddenly visits 2x the nodes)
+   bit-exactly. *)
+
+module Metrics = Octo_util.Metrics
+
+let history_path = "BENCH_history.jsonl"
+
+(* The deterministic counters and their flat-key suffixes. *)
+let history_counters =
+  [
+    (Metrics.Vm_steps, "vm_steps");
+    (Metrics.Solver_nodes, "solver_nodes");
+    (Metrics.Constraint_adds, "constraint_adds");
+    (Metrics.Symex_states_forked, "states_forked");
+    (Metrics.Symex_states_pruned, "states_pruned");
+  ]
+
+(* Run the 15 pairs serially with metrics on; every report carries its own
+   per-pair counter delta.  Returns (deterministic fields, timing fields),
+   keys flat like "p7_solver_nodes" / "p7_elapsed_ms". *)
+let history_fields () =
+  let was_on = Metrics.is_on () in
+  if not was_on then Metrics.enable ();
+  let t0 = Unix.gettimeofday () in
+  let rows =
+    List.map
+      (fun (c : Registry.case) -> (c.idx, Octopocs.run ~s:c.s ~t:c.t ~poc:c.poc ()))
+      Registry.all
+  in
+  let total_s = Unix.gettimeofday () -. t0 in
+  if not was_on then Metrics.disable ();
+  let det =
+    List.concat_map
+      (fun (idx, (r : Octopocs.report)) ->
+        match r.metrics with
+        | None -> []
+        | Some m ->
+            List.map
+              (fun (c, key) ->
+                (Printf.sprintf "p%d_%s" idx key, float_of_int (Metrics.counter_value m c)))
+              history_counters)
+      rows
+  in
+  let timings =
+    List.map
+      (fun (idx, (r : Octopocs.report)) ->
+        (Printf.sprintf "p%d_elapsed_ms" idx, r.elapsed_s *. 1000.))
+      rows
+    @ [ ("total_elapsed_s", total_s) ]
+  in
+  (det, timings)
+
+let bench_history () =
+  say "";
+  say "Perf history (deterministic counters + timings -> %s)" history_path;
+  hr ();
+  let det, timings = history_fields () in
+  let field (k, v) =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%S: %.0f" k v
+    else Printf.sprintf "%S: %.3f" k v
+  in
+  let line =
+    "{" ^ String.concat ", " (List.map field (det @ timings)) ^ "}"
+  in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 history_path in
+  output_string oc (line ^ "\n");
+  close_out oc;
+  say "appended %d deterministic counters + %d timings to %s" (List.length det)
+    (List.length timings) history_path
+
+(* Hand-rolled flat-object scanner ("key": number pairs) — the container has
+   no JSON library and the history lines are flat by construction. *)
+let parse_history_line (s : string) : (string * float) list =
+  let n = String.length s in
+  let fields = ref [] in
+  let i = ref 0 in
+  (try
+     while !i < n do
+       while !i < n && s.[!i] <> '"' do incr i done;
+       if !i >= n then raise Exit;
+       let k0 = !i + 1 in
+       let j = ref k0 in
+       while !j < n && s.[!j] <> '"' do incr j done;
+       if !j >= n then raise Exit;
+       let key = String.sub s k0 (!j - k0) in
+       i := !j + 1;
+       while !i < n && (s.[!i] = ':' || s.[!i] = ' ') do incr i done;
+       let v0 = !i in
+       let num = function '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false in
+       while !i < n && num s.[!i] do incr i done;
+       if !i > v0 then
+         match float_of_string_opt (String.sub s v0 (!i - v0)) with
+         | Some v -> fields := (key, v) :: !fields
+         | None -> ()
+     done
+   with Exit -> ());
+  List.rev !fields
+
+let last_history_line path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let last = ref None in
+    (try
+       while true do
+         let l = input_line ic in
+         if String.trim l <> "" then last := Some l
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !last
+  end
+
+let is_deterministic_key k =
+  List.exists
+    (fun (_, suffix) ->
+      let sl = String.length suffix and kl = String.length k in
+      kl > sl && String.sub k (kl - sl) sl = suffix)
+    history_counters
+
+(* Returns the number of regressions (CI fails on > 0). *)
+let bench_gate () =
+  say "";
+  say "Perf-regression gate (deterministic counters vs last %s entry)" history_path;
+  hr ();
+  match last_history_line history_path with
+  | None ->
+      say "gate: no baseline — %s missing or empty; run 'bench' and commit it" history_path;
+      1
+  | Some line ->
+      let baseline = List.filter (fun (k, _) -> is_deterministic_key k) (parse_history_line line) in
+      if baseline = [] then begin
+        say "gate: last %s entry carries no deterministic counters" history_path;
+        1
+      end
+      else begin
+        let det, timings = history_fields () in
+        let regressions = ref 0 in
+        let improved = ref 0 and unchanged = ref 0 and fresh = ref 0 in
+        List.iter
+          (fun (k, cur) ->
+            match List.assoc_opt k baseline with
+            | None -> incr fresh
+            | Some base ->
+                if cur > (base *. 1.10) +. 1e-9 then begin
+                  incr regressions;
+                  say "  REGRESSION %-24s %10.0f vs baseline %10.0f (+%.1f%% > 10%%)" k cur
+                    base (((cur /. Float.max base 1.) -. 1.) *. 100.)
+                end
+                else if cur < base then incr improved
+                else incr unchanged)
+          det;
+        List.iter
+          (fun (k, _base) ->
+            if not (List.mem_assoc k det) then
+              say "  note: baseline counter %s no longer measured" k)
+          baseline;
+        say "gate: %d counters checked — %d regression(s), %d improved, %d unchanged, %d new"
+          (List.length det) !regressions !improved !unchanged !fresh;
+        (match List.assoc_opt "total_elapsed_s" timings with
+        | Some t -> say "gate: total elapsed %.3fs (timings are non-gating)" t
+        | None -> ());
+        !regressions
+      end
+
+(* ------------------------------------------------------------------ *)
+
 (* Chaos harness: run the full 15-pair batch under [schedules] seeded
    fault-injection schedules.  Every schedule gets one derived seed; every
    pair gets one independent injector derived from that seed and the pair
@@ -680,7 +859,11 @@ let () =
   if want "table5" then table5 ();
   if want "ablations" then ablations ();
   if want "micro" then micro ();
-  if List.mem "bench" args then bench_json ();
+  if List.mem "bench" args then begin
+    bench_json ();
+    bench_history ()
+  end;
+  let gate_regressions = if List.mem "gate" args then bench_gate () else 0 in
   let chaos_violations =
     if List.mem "chaos" args then
       chaos ~schedules:(opt "--schedules" 8) ~seed:(opt "--chaos-seed" 42) ()
@@ -689,4 +872,4 @@ let () =
   Octo_util.Trace.disable ();
   say "";
   say "done.";
-  if chaos_violations > 0 then exit 1
+  if chaos_violations > 0 || gate_regressions > 0 then exit 1

@@ -7,14 +7,21 @@
                       and print the Table II summary
      inspect <idx>    show the pair's programs, PoC hexdump and ℓ
      fuzz <idx>       run the AFLFast baseline on the pair's T binary
+     explain <idx>    re-verify one pair with provenance collection on and
+                      print the deterministic explanation narrative (why
+                      the verdict: taint bunches, forced branches, pin
+                      conflicts with minimized cores, crash site); with
+                      --journal PATH, render a journaled record instead
      journal <path>   dump a verification journal (one line per settled
                       pair, sorted by label — diffable across runs)
      trace <path>     validate a --trace JSONL file against the span
                       schema (balanced begin/end, monotonic timestamps)
 
    Observability: verify and verify-all take --trace PATH (Chrome
-   trace-viewer JSONL of the pipeline's phase spans) and --metrics
-   (per-pair counter/latency breakdowns, journaled with the verdicts).
+   trace-viewer JSONL of the pipeline's phase spans), --metrics (per-pair
+   counter/latency breakdowns, journaled with the verdicts) and
+   --provenance (per-pair causal evidence logs, journaled as OPR3 tail
+   fields and rendered by explain).
 
    Exit codes report the verdict, not the paper-match status:
      0 = Triggered, 1 = Not_triggerable, 2 = Failure, 3 = tool/worker crash.
@@ -63,13 +70,15 @@ let pp_degradations (r : Octopocs.report) =
 (* Observability session: enable collection/tracing around [f] and always
    tear it down (the trace file must be flushed and closed even when the
    run fails).  Enable/disable happen outside any span, as Trace requires. *)
-let with_observability ~trace ~metrics f =
+let with_observability ?(provenance = false) ~trace ~metrics f =
   if metrics then Metrics.enable ();
+  if provenance then Octopocs.Provenance.enable ();
   (match trace with Some path -> Trace.enable ~path | None -> ());
   Fun.protect
     ~finally:(fun () ->
       Trace.disable ();
-      Metrics.disable ())
+      Metrics.disable ();
+      Octopocs.Provenance.disable ())
     f
 
 let pp_pair_metrics ~indent (m : Metrics.snapshot) =
@@ -93,11 +102,21 @@ let run_one ?(dynamic = false) ?deadline ?chaos_seed (c : Registry.case) : Octop
       say "  symex   : %d run(s), %d steps, %d branch decisions, %d loop retries" s.runs
         s.total_steps s.branches_decided s.loop_retries
   | None -> ());
-  say "  verdict : %a  (expected %s)" Octopocs.pp_verdict r.verdict
+  (* pp_verdict_prov upgrades a Constraint_conflict verdict in place with
+     the conflicting bunch and T-side constraint when provenance is on. *)
+  say "  verdict : %a  (expected %s)"
+    (Octopocs.pp_verdict_prov r.provenance)
+    r.verdict
     (Registry.expected_to_string c.expected);
   pp_degradations r;
   say "  elapsed : %.3fs" r.elapsed_s;
   (match r.metrics with Some m -> pp_pair_metrics ~indent:"  " m | None -> ());
+  (match r.provenance with
+  | Some p ->
+      say "  prov    : %d event(s), %d dropped, conflict core %d"
+        (Octopocs.Provenance.event_count p) p.Octopocs.Provenance.dropped
+        (Octopocs.Provenance.conflict_core_size p)
+  | None -> ());
   (match r.verdict with
   | Octopocs.Triggered { poc'; _ } -> say "  poc' hexdump:@.%s" (B.hexdump poc')
   | _ -> ());
@@ -152,19 +171,28 @@ let metrics_arg =
                  per pair plus batch totals, and journal each pair's snapshot with \
                  its verdict.")
 
+let provenance_arg =
+  Arg.(value & flag
+       & info [ "provenance" ]
+           ~doc:"Collect per-pair causal evidence logs (taint bunches, forced \
+                 branches, pin conflicts with minimized cores, crash sites); \
+                 verdict lines name the conflicting constraint, and journaled \
+                 records carry the log for a later $(b,explain --journal).")
+
+let dynamic_arg =
+  Arg.(value & flag
+       & info [ "dynamic-cfg" ]
+           ~doc:"Repair CFG-recovery failures with dynamic devirtualization")
+
 let verify_cmd =
   let idx = Arg.(required & pos 0 (some int) None & info [] ~docv:"IDX") in
-  let dynamic =
-    Arg.(value & flag
-         & info [ "dynamic-cfg" ]
-             ~doc:"Repair CFG-recovery failures with dynamic devirtualization")
-  in
   Cmd.v (Cmd.info "verify" ~doc:"Verify one Table II pair")
-    Term.(const (fun dynamic deadline chaos_seed trace metrics idx ->
+    Term.(const (fun dynamic deadline chaos_seed trace metrics provenance idx ->
               with_case idx (fun c ->
-                  with_observability ~trace ~metrics (fun () ->
+                  with_observability ~provenance ~trace ~metrics (fun () ->
                       verdict_exit (run_one ~dynamic ?deadline ?chaos_seed c))))
-          $ dynamic $ deadline_arg $ chaos_seed_arg $ trace_arg $ metrics_arg $ idx)
+          $ dynamic_arg $ deadline_arg $ chaos_seed_arg $ trace_arg $ metrics_arg
+          $ provenance_arg $ idx)
 
 (* ------------------------------------------------------------------ *)
 (* verify-all: journaled, resumable batch verification. *)
@@ -185,11 +213,11 @@ type batch_outcome = Fresh of Octopocs.report | Cached of Octopocs.report
 let report_of = function Fresh r | Cached r -> r
 
 let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall_grace trace
-    metrics_on =
+    metrics_on provenance_on =
   if resume && journal_path = None then
     structured_error "--resume requires --journal PATH"
   else begin
-    with_observability ~trace ~metrics:metrics_on @@ fun () ->
+    with_observability ~provenance:provenance_on ~trace ~metrics:metrics_on @@ fun () ->
     (* Baseline for the batch's pool-level counters: metrics cells live for
        the whole process, so the batch view is a diff, not an absolute. *)
     let m0 = Metrics.aggregate () in
@@ -285,7 +313,7 @@ let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall
             if not (matches c r) then incr mismatches;
             say "Pair %-3d %-22s -> %-40s %s%s%s" c.idx
               (Printf.sprintf "%s/%s" c.s.pname c.t.pname)
-              (Fmt.str "%a" Octopocs.pp_verdict r.verdict)
+              (Fmt.str "%a" (Octopocs.pp_verdict_prov r.provenance) r.verdict)
               (if got = want then "MATCH" else Printf.sprintf "MISMATCH (want %s)" want)
               (match outcome with Cached _ -> "  [cached]" | Fresh _ -> "")
               (if r.degradations = [] then ""
@@ -392,7 +420,62 @@ let verify_all_cmd =
                faithful full run exits 2.)";
          ])
     Term.(const run_all $ jobs $ retries $ deadline_arg $ chaos_seed_arg $ journal $ resume
-          $ fail_fast $ stall_grace $ trace_arg $ metrics_arg)
+          $ fail_fast $ stall_grace $ trace_arg $ metrics_arg $ provenance_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain: render the causal evidence behind one verdict.  The live form
+   re-verifies the pair with provenance collection enabled (the pipeline
+   is deterministic, so this IS the original run's evidence); the
+   --journal form renders a previously journaled record instead, which
+   carries provenance only if the batch ran with --provenance.  Exit 0
+   when an explanation was printed, independent of the verdict — the
+   subcommand's job is explaining, not re-judging. *)
+
+let explain_live ~dynamic ~deadline (c : Registry.case) =
+  with_observability ~provenance:true ~trace:None ~metrics:false @@ fun () ->
+  let config = config_for ~dynamic ~deadline ~chaos_seed:None c.idx in
+  let r = Octopocs.run ~config ~s:c.s ~t:c.t ~poc:c.poc () in
+  print_string (Octopocs.explain_report ~label:(Printf.sprintf "pair %d" c.idx) r);
+  0
+
+let explain_journal path idx =
+  if not (Sys.file_exists path) then structured_error "no such journal: %s" path
+  else begin
+    let r = Journal.replay path in
+    (* Last record per label wins, as in --resume. *)
+    let found = ref None in
+    List.iter
+      (fun payload ->
+        match Octopocs.decode_result payload with
+        | Some (label, _, rep) when label = string_of_int idx -> found := Some rep
+        | _ -> ())
+      r.records;
+    match !found with
+    | Some rep ->
+        print_string (Octopocs.explain_report ~label:(Printf.sprintf "pair %d" idx) rep);
+        0
+    | None -> structured_error "journal %s has no record for pair %d" path idx
+  end
+
+let explain_cmd =
+  let idx = Arg.(required & pos 0 (some int) None & info [] ~docv:"PAIR") in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"PATH"
+             ~doc:"Render the journaled record of $(i,PAIR) from $(docv) instead of \
+                   re-verifying (the record carries provenance only when the batch \
+                   ran with --provenance).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain a pair's verdict: the causal evidence (taint bunches, forced \
+             branches, pin conflicts with minimized constraint cores, crash site) \
+             rendered as a deterministic, diffable narrative")
+    Term.(const (fun dynamic deadline journal idx ->
+              match journal with
+              | Some path -> explain_journal path idx
+              | None -> with_case idx (explain_live ~dynamic ~deadline))
+          $ dynamic_arg $ deadline_arg $ journal $ idx)
 
 (* ------------------------------------------------------------------ *)
 
@@ -475,12 +558,23 @@ let journal_dump path =
                 (Metrics.counter_value m Metrics.Solver_nodes)
                 (Metrics.counter_value m Metrics.Constraint_adds)
         in
-        say "pair %-4s key=%s %s%s%s%s" label key
+        (* Provenance stays a one-line summary here (full rendering is
+           explain's job): deterministic event/core counts keep the
+           kill/resume dump diffs clean. *)
+        let prov_detail =
+          match rep.provenance with
+          | None -> ""
+          | Some p ->
+              Printf.sprintf " prov[events=%d core=%d]"
+                (Octopocs.Provenance.event_count p)
+                (Octopocs.Provenance.conflict_core_size p)
+        in
+        say "pair %-4s key=%s %s%s%s%s%s" label key
           (Fmt.str "%a" Octopocs.pp_verdict rep.verdict)
           detail
           (if rep.degradations = [] then ""
            else Printf.sprintf " [degraded: %s]" (String.concat " -> " rep.degradations))
-          metrics_detail)
+          metrics_detail prov_detail)
       entries;
     say "%d pair(s)%s%s" (List.length entries)
       (if !undecodable > 0 then Printf.sprintf ", %d undecodable record(s)" !undecodable
@@ -526,7 +620,10 @@ let () =
   match
     Cmd.eval' ~catch:false
       (Cmd.group info
-         [ verify_cmd; verify_all_cmd; inspect_cmd; fuzz_cmd; journal_cmd; trace_cmd ])
+         [
+           verify_cmd; verify_all_cmd; explain_cmd; inspect_cmd; fuzz_cmd; journal_cmd;
+           trace_cmd;
+         ])
   with
   | code -> exit code
   | exception e ->

@@ -31,6 +31,7 @@ module Deadline = Octo_util.Deadline
 module Faultinject = Octo_util.Faultinject
 module Metrics = Octo_util.Metrics
 module Trace = Octo_util.Trace
+module Provenance = Provenance
 
 type not_triggerable_reason =
   | Ep_not_called           (** verification case (ii) *)
@@ -66,6 +67,11 @@ type report = {
           by the domain that ran this pair, when collection was enabled
           ([--metrics] / {!Metrics.enable}); [None] otherwise.  Journaled
           alongside the verdict. *)
+  provenance : Provenance.t option;
+      (** per-pair causal evidence log recorded when collection was
+          enabled ([--provenance] / {!Provenance.enable}); [None]
+          otherwise.  Journaled as an optional OPR3 tail field and
+          rendered by {!explain_report} / the [explain] subcommand. *)
 }
 
 let pp_reason ppf = function
@@ -88,6 +94,128 @@ let verdict_class = function
   | Not_triggerable _ -> "Type-III"
   | Failure _ -> "Failure"
 
+(** [conflict_detail prov] distills the last P3 conflict of a provenance
+    log into one sentence: which bunch bytes (or replayed arguments) clash
+    with which of T's own path constraints.  [None] when no provenance or
+    no conflict was recorded. *)
+let conflict_detail (prov : Provenance.t option) : string option =
+  match prov with
+  | None -> None
+  | Some p -> (
+      match Provenance.last_conflict p with
+      | None -> None
+      | Some (seq, []) ->
+          (* No minimized core: the placement itself was impossible (a
+             primitive lands before the file-position indicator, offset
+             < 0) — there is no constraint to blame. *)
+          Some
+            (Fmt.str "bunch %d could not be placed: a primitive precedes the file-position \
+                      indicator" seq)
+      | Some (seq, core) -> (
+          let pins, path =
+            List.partition
+              (fun (e : Provenance.core_entry) -> e.origin <> Provenance.Path_constraint)
+              core
+          in
+          let pp_pin ppf (e : Provenance.core_entry) = Provenance.pp_origin ppf e.origin in
+          let pins_s =
+            match pins with
+            | [] -> Fmt.str "bunch %d" seq
+            | _ -> Fmt.str "%a" Fmt.(list ~sep:(any " + ") pp_pin) pins
+          in
+          match path with
+          | [] -> Some (Fmt.str "%s: the pinned constraints contradict each other" pins_s)
+          | e :: _ -> Some (Fmt.str "%s clashes with T's path constraint `%s`" pins_s e.cond)))
+
+(** [pp_verdict_prov prov ppf v] is {!pp_verdict} upgraded with provenance:
+    a [Constraint_conflict] verdict additionally names the conflicting
+    bunch bytes and the T-side constraint when a conflict core was
+    recorded.  Identical to {!pp_verdict} without provenance. *)
+let pp_verdict_prov prov ppf v =
+  match v with
+  | Not_triggerable (Constraint_conflict k) -> (
+      match conflict_detail prov with
+      | Some d ->
+          Fmt.pf ppf "NOT TRIGGERABLE (constraints conflict at ep entry #%d: %s)" k d
+      | None -> pp_verdict ppf v)
+  | _ -> pp_verdict ppf v
+
+(** [explain_report ~label r] renders the deterministic, diffable
+    explanation narrative for one verified pair: header, then one section
+    per pipeline phase listing that phase's provenance events, the
+    expanded minimized core of the last conflict (if any), and the ladder
+    rungs.  Contains no timings, addresses or other run-varying data —
+    two runs of the same pair produce byte-identical output, which is
+    what the golden tests pin. *)
+let explain_report ~label (r : report) : string =
+  let b = Buffer.create 1024 in
+  let pf fmt = Fmt.kstr (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  pf "OCTOPOCS explanation — %s" label;
+  pf "verdict : %a" (pp_verdict_prov r.provenance) r.verdict;
+  pf "class   : %s" (verdict_class r.verdict);
+  if r.ep <> "" then pf "ep      : %s" r.ep;
+  if r.ell <> [] then pf "ℓ       : %s" (String.concat ", " r.ell);
+  (match r.verdict with
+  | Triggered { poc'; _ } ->
+      pf "poc'    : %d bytes, md5 %s" (String.length poc')
+        (Digest.to_hex (Digest.string poc'))
+  | _ -> ());
+  (match r.provenance with
+  | None ->
+      pf "";
+      pf "no provenance recorded — `explain PAIR` enables collection itself; journaled \
+          records carry provenance only when the run used --provenance (pre-OPR3 journals \
+          never do)"
+  | Some p ->
+      let section title pred =
+        let evs = List.filter pred p.Provenance.events in
+        pf "";
+        pf "%s" title;
+        if evs = [] then pf "  (nothing recorded)"
+        else begin
+          (* Cap each section so loop-heavy pairs stay readable; the cap
+             is deterministic, and the summary line keeps the total. *)
+          let cap = 12 in
+          List.iteri (fun i ev -> if i < cap then pf "  %a" Provenance.pp_event ev) evs;
+          let extra = List.length evs - cap in
+          if extra > 0 then pf "  ... (+%d more)" extra
+        end
+      in
+      section "P1 — crash primitives (taint)" (function
+        | Provenance.Taint_bunch _ -> true
+        | _ -> false);
+      section "P2 — directed path search" (function
+        | Provenance.Branch_forced _ | Provenance.Loop_retry _ | Provenance.Path_pruned _ ->
+            true
+        | _ -> false);
+      section "P3 — combine (bunch pinning)" (function
+        | Provenance.Bunch_pinned _ | Provenance.Conflict _ -> true
+        | _ -> false);
+      (match Provenance.last_conflict p with
+      | None -> ()
+      | Some (seq, core) ->
+          pf "  minimized conflicting core for bunch %d:" seq;
+          if core = [] then
+            pf "    (empty: a primitive precedes the file-position indicator)"
+          else
+            List.iter
+              (fun (e : Provenance.core_entry) ->
+                pf "    %a: `%s`" Provenance.pp_origin e.origin e.cond)
+              core;
+          (match conflict_detail r.provenance with
+          | Some d -> pf "  => %s" d
+          | None -> ()));
+      section "P4 — verification" (function
+        | Provenance.Crash_site _ -> true
+        | _ -> false);
+      section "degradation ladder" (function Provenance.Rung _ -> true | _ -> false);
+      pf "";
+      pf "degradations: %s"
+        (match r.degradations with [] -> "(none)" | ds -> String.concat "," ds);
+      pf "provenance  : %d event(s), %d dropped" (Provenance.event_count p)
+        p.Provenance.dropped);
+  Buffer.contents b
+
 (** [identify_ep ~ell crash] picks [ep]: the bottom-most function of the
     crash backtrace that belongs to ℓ — i.e. the first ℓ function entered on
     the path to the crash (paper "Preprocessing"). *)
@@ -95,57 +223,105 @@ let identify_ep ~(ell : string list) (crash : Interp.crash) : string option =
   List.find_opt (fun f -> List.mem f ell) crash.backtrace
 
 (* P3: the bunch-placement callback run at every ep entry of T's symbolic
-   execution. *)
-let place_bunches (bunches : Taint.bunch list) (st : Sym_state.t) ~count ~args ~file_pos :
-    Directed.ep_action =
-  Trace.with_span Trace.Combine "place-bunch" @@ fun () ->
-  match List.nth_opt bunches (count - 1) with
-  | None -> Directed.Stop
-  | Some (b : Taint.bunch) ->
-      let ok = ref true in
-      let add c = if !ok then match Solve.add st.store c with Solve.Ok -> () | Solve.Unsat -> ok := false in
-      (* Replay the ep arguments that were input-derived in S: OCTOPOCS
-         "executes ep in T with the same parameters as those used in S". *)
-      List.iteri
-        (fun i (v, tainted) ->
-          if tainted then
-            match List.nth_opt args i with
-            | Some ae -> add { Expr.rel = Eq; lhs = ae; rhs = Expr.const v }
-            | None -> ())
-        b.ep_args;
-      (* Pin the bunch bytes relative to the file position indicator
-         (paper Fig. 5: "sym[5:9] == 0x41"-style constraints).
+   execution.
 
-         Context-aware bunches keep each primitive at its offset relative to
-         the entry's anchor.  A merged (context-free) bunch has no per-entry
-         anchors, so its post-anchor primitives are located "at once":
-         consecutively from the indicator — the Table III failure mode. *)
-      let place tgt v =
-        if tgt < 0 then ok := false
-        else begin
-          st.max_read_off <- max st.max_read_off (tgt + 1);
-          add { Expr.rel = Eq; lhs = Expr.byte tgt; rhs = Expr.const v }
+   Partially applied once per pipeline attempt: the [pins] ledger — what
+   each constraint WE added means (which bunch byte, which replayed
+   argument) — lives across the entries of one symbolic state so that a
+   conflict at entry k can label a core drawn from the whole store.  A
+   fresh state re-enters ep from [count = 1], which resets the ledger. *)
+let place_bunches (bunches : Taint.bunch list) =
+  let pins : (Provenance.origin * Expr.cond) list ref = ref [] in
+  fun (st : Sym_state.t) ~count ~args ~file_pos : Directed.ep_action ->
+    Trace.with_span Trace.Combine "place-bunch" @@ fun () ->
+    let prov_on = Provenance.is_on () in
+    if prov_on && count = 1 then pins := [];
+    match List.nth_opt bunches (count - 1) with
+    | None -> Directed.Stop
+    | Some (b : Taint.bunch) ->
+        let ok = ref true in
+        let nbytes = ref 0 and nargs = ref 0 in
+        let add origin c =
+          if !ok then begin
+            if prov_on then pins := (origin, c) :: !pins;
+            match Solve.add st.store c with Solve.Ok -> () | Solve.Unsat -> ok := false
+          end
+        in
+        (* Replay the ep arguments that were input-derived in S: OCTOPOCS
+           "executes ep in T with the same parameters as those used in S". *)
+        List.iteri
+          (fun i (v, tainted) ->
+            if tainted then
+              match List.nth_opt args i with
+              | Some ae ->
+                  incr nargs;
+                  add
+                    (Provenance.Replayed_arg { bunch = count; arg = i; value = v })
+                    { Expr.rel = Eq; lhs = ae; rhs = Expr.const v }
+              | None -> ())
+          b.ep_args;
+        (* Pin the bunch bytes relative to the file position indicator
+           (paper Fig. 5: "sym[5:9] == 0x41"-style constraints).
+
+           Context-aware bunches keep each primitive at its offset relative to
+           the entry's anchor.  A merged (context-free) bunch has no per-entry
+           anchors, so its post-anchor primitives are located "at once":
+           consecutively from the indicator — the Table III failure mode. *)
+        let place tgt v =
+          if tgt < 0 then ok := false
+          else begin
+            st.max_read_off <- max st.max_read_off (tgt + 1);
+            incr nbytes;
+            add
+              (Provenance.Bunch_byte { bunch = count; off = tgt; value = v })
+              { Expr.rel = Eq; lhs = Expr.byte tgt; rhs = Expr.const v }
+          end
+        in
+        if b.merged then begin
+          let rank = ref 0 in
+          List.iter
+            (fun (off, v) ->
+              if !ok then
+                if off < b.anchor then place (file_pos + (off - b.anchor)) v
+                else begin
+                  place (file_pos + !rank) v;
+                  incr rank
+                end)
+            b.prims
         end
-      in
-      if b.merged then begin
-        let rank = ref 0 in
-        List.iter
-          (fun (off, v) ->
-            if !ok then
-              if off < b.anchor then place (file_pos + (off - b.anchor)) v
-              else begin
-                place (file_pos + !rank) v;
-                incr rank
-              end)
-          b.prims
-      end
-      else
-        List.iter
-          (fun (off, v) -> if !ok then place (file_pos + (off - b.anchor)) v)
-          b.prims;
-      if not !ok then Directed.Conflict
-      else if count >= List.length bunches then Directed.Stop
-      else Directed.Continue
+        else
+          List.iter
+            (fun (off, v) -> if !ok then place (file_pos + (off - b.anchor)) v)
+            b.prims;
+        if not !ok then begin
+          (* Conflict evidence: minimize the store (T's path constraints
+             plus our pins — the failing constraint is still in it) to a
+             core, then label each member against the pin ledger.  Only
+             paid on the conflict path, and only with provenance on. *)
+          if prov_on then begin
+            let core = Solve.unsat_core (Solve.constraints st.store) in
+            let entries =
+              List.map
+                (fun c ->
+                  let origin =
+                    match List.find_opt (fun (_, pc) -> pc = c) !pins with
+                    | Some (o, _) -> o
+                    | None -> Provenance.Path_constraint
+                  in
+                  { Provenance.origin; cond = Fmt.str "%a" Expr.pp_cond c })
+                core
+            in
+            Provenance.emit (Provenance.Conflict { seq = count; core = entries })
+          end;
+          Directed.Conflict
+        end
+        else begin
+          if prov_on then
+            Provenance.emit
+              (Provenance.Bunch_pinned
+                 { seq = count; file_pos; nbytes = !nbytes; args_replayed = !nargs });
+          if count >= List.length bunches then Directed.Stop else Directed.Continue
+        end
 
 let poc_of_model (model : Solve.model) ~length =
   String.init length (fun i -> Char.chr (Solve.model_byte model i land 0xff))
@@ -207,6 +383,7 @@ let failure_report ?(degradations = []) msg =
     degradations;
     elapsed_s = 0.0;
     metrics = None;
+    provenance = None;
   }
 
 (* One full pipeline pass under a fixed configuration and deadline.  The
@@ -228,6 +405,7 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
       degradations = List.rev !degraded;
       elapsed_s = Unix.gettimeofday () -. t_start;
       metrics = None;
+      provenance = None;
     }
   in
   let ell =
@@ -259,6 +437,21 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
                 ~poc ~ep
             in
             let bunches = taint_res.bunches in
+            if Provenance.is_on () then
+              List.iter
+                (fun (b : Taint.bunch) ->
+                  Provenance.emit
+                    (Provenance.Taint_bunch
+                       {
+                         seq = b.seq;
+                         anchor = b.anchor;
+                         ranges = Provenance.ranges_of_offsets (List.map fst b.prims);
+                         tainted_args =
+                           List.mapi (fun i (_, tainted) -> if tainted then i else -1) b.ep_args
+                           |> List.filter (fun i -> i >= 0);
+                         sites = b.sites;
+                       }))
+                bunches;
             if bunches = [] then
               finish (Failure "taint analysis produced no crash primitives") ~ep ~ell ~bunches
                 ~taint:(Some taint_res) ~symex:None
@@ -280,6 +473,10 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
                       match Cfg.build_cached t' ~ep with
                       | cfg ->
                           degraded := "dynamic-cfg" :: !degraded;
+                          if Provenance.is_on () then
+                            Provenance.emit
+                              (Provenance.Rung
+                                 { rung = "dynamic-cfg"; failure = "CFG recovery failed: " ^ msg });
                           Ok (t', cfg)
                       | exception Cfg.Cfg_error msg2 ->
                           Error (msg ^ "; dynamic CFG also failed: " ^ msg2)
@@ -298,10 +495,28 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
                        placement at every ep entry. *)
                     Faultinject.maybe_raise inject Faultinject.Deadline_expiry
                       ~what:"directed symbolic execution";
+                    let probe =
+                      if not (Provenance.is_on ()) then None
+                      else
+                        Some
+                          {
+                            Directed.on_forced =
+                              (fun ~func ~pc ~preferred_taken ->
+                                Provenance.emit
+                                  (Provenance.Branch_forced { func; pc; preferred_taken }));
+                            on_pruned =
+                              (fun ~func ~pc ->
+                                Provenance.emit (Provenance.Path_pruned { func; pc }));
+                            on_loop_retry =
+                              (fun ~func ~pc ~granted ~theta ->
+                                Provenance.emit
+                                  (Provenance.Loop_retry { func; pc; granted; theta }));
+                          }
+                    in
                     let outcome, stats =
                       Trace.with_span Trace.Symex "directed" @@ fun () ->
                       Directed.run ~config:config.symex ~sym_file_size:config.sym_file_size
-                        ~deadline t_sym ~ep ~cfg ~on_ep:(place_bunches bunches)
+                        ?probe ~deadline t_sym ~ep ~cfg ~on_ep:(place_bunches bunches)
                     in
                     let symex = Some stats in
                     match outcome with
@@ -335,6 +550,17 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
                               Interp.run ~max_steps:config.max_steps ~deadline ~inject t
                                 ~input:poc'
                             in
+                            (match t_run.outcome with
+                            | Interp.Crashed c when Provenance.is_on () ->
+                                Provenance.emit
+                                  (Provenance.Crash_site
+                                     {
+                                       func = c.crash_func;
+                                       pc = c.crash_pc;
+                                       fault = Fmt.str "%a" Mem.pp_fault c.fault;
+                                       in_ell = List.mem c.crash_func ell;
+                                     })
+                            | _ -> ());
                             if Interp.crash_in t_run ~funcs:ell then begin
                               (* Type-I iff the original poc already works
                                  on T (its guiding input needed no
@@ -403,7 +629,7 @@ let ladder_rungs (config : config) : (string * config) list =
     failure, the honest one.  Exposed for testing. *)
 let climb_ladder ~(deadline : Deadline.t) ~(attempt : config -> report) (r0 : report) rungs :
     report =
-  let rec climb tried = function
+  let rec climb ~last_failure tried = function
     | [] -> { r0 with degradations = r0.degradations @ List.rev tried }
     | (rung, cfg) :: rest ->
         if Deadline.expired deadline then
@@ -411,9 +637,12 @@ let climb_ladder ~(deadline : Deadline.t) ~(attempt : config -> report) (r0 : re
              record only the rungs actually attempted. *)
           { r0 with degradations = r0.degradations @ List.rev tried }
         else begin
+          if Provenance.is_on () then
+            Provenance.emit (Provenance.Rung { rung; failure = last_failure });
           let r = attempt cfg in
           match r.verdict with
-          | Failure msg' when rescuable_failure msg' -> climb (rung :: tried) rest
+          | Failure msg' when rescuable_failure msg' ->
+              climb ~last_failure:msg' (rung :: tried) rest
           | Failure _ ->
               (* The degraded run failed differently; the first attempt's
                  failure is the honest one. *)
@@ -421,7 +650,8 @@ let climb_ladder ~(deadline : Deadline.t) ~(attempt : config -> report) (r0 : re
           | _ -> { r with degradations = r.degradations @ List.rev (rung :: tried) }
         end
   in
-  climb [] rungs
+  let last_failure = match r0.verdict with Failure msg -> msg | _ -> "" in
+  climb ~last_failure [] rungs
 
 (** [run ?config ?ell ~s ~t ~poc ()] executes the full pipeline.
 
@@ -456,9 +686,11 @@ let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(
     | exception Faultinject.Injected what -> failure_report ("injected fault: " ^ what)
   in
   (* The whole pair — first attempt plus any ladder rungs — is one trace
-     envelope (cat "pair") and one metrics scope, so report.metrics is the
-     per-pair delta recorded by this domain. *)
-  let r, m =
+     envelope (cat "pair"), one metrics scope and one provenance scope, so
+     report.metrics / report.provenance are the per-pair records of the
+     domain that ran it. *)
+  let (r, m), p =
+    Provenance.scoped @@ fun () ->
     Metrics.scoped @@ fun () ->
     Trace.with_cat_span ~cat:"pair" ~name:"pipeline" @@ fun () ->
     let r0 = attempt config in
@@ -467,7 +699,7 @@ let run ?(config = default_config) ?ell ~(s : Isa.program) ~(t : Isa.program) ~(
         climb_ladder ~deadline ~attempt r0 (ladder_rungs config)
     | _ -> r0
   in
-  { r with elapsed_s = Unix.gettimeofday () -. t_start; metrics = m }
+  { r with elapsed_s = Unix.gettimeofday () -. t_start; metrics = m; provenance = p }
 
 (* ------------------------------------------------------------------ *)
 (* Batch verification. *)
@@ -558,7 +790,13 @@ let job_key ~config (j : job) =
    malformed record (a foreign or future-versioned journal must not crash
    the reader). *)
 
-let codec_version = "OPR2"
+(* OPR3 appends two tail fields to OPR2: an explicit metrics presence
+   flag (OPR2 inferred presence from end-of-record, which left no room
+   for anything after it) and an optional provenance blob.  The decoder
+   still reads OPR2 records — journals written before the bump replay and
+   resume unchanged, with [provenance = None]. *)
+let codec_version = "OPR3"
+let legacy_codec_version = "OPR2"
 
 let put_str b s =
   let l = Bytes.create 4 in
@@ -616,10 +854,16 @@ let encode_result ~label ~key (r : report) =
       put_str b msg);
   put_str_list b r.degradations;
   put_str b (Int64.to_string (Int64.bits_of_float r.elapsed_s));
-  (* Optional tail field: the metrics snapshot, when one was collected.
-     Decoders treat end-of-record here as [metrics = None], so records
-     written with collection off stay the same size as before. *)
-  (match r.metrics with None -> () | Some snap -> put_metrics b snap);
+  (* Metrics presence is explicit in OPR3 ('0'/'1') so the record can
+     carry fields after it; provenance stays an optional tail — decoders
+     treat end-of-record here as [provenance = None], so records written
+     with collection off cost one flag byte over OPR2. *)
+  (match r.metrics with
+  | None -> Buffer.add_char b '0'
+  | Some snap ->
+      Buffer.add_char b '1';
+      put_metrics b snap);
+  (match r.provenance with None -> () | Some p -> put_str b (Provenance.encode p));
   Buffer.contents b
 
 let decode_result (s : string) : (string * string * report) option =
@@ -666,7 +910,8 @@ let decode_result (s : string) : (string * string * report) option =
     { Metrics.counters; phase_count; phase_ns; phase_hist }
   in
   match
-    if take 4 <> codec_version then raise Bad;
+    let version = take 4 in
+    if version <> codec_version && version <> legacy_codec_version then raise Bad;
     let label = get_str () in
     let key = get_str () in
     let ep = get_str () in
@@ -695,8 +940,27 @@ let decode_result (s : string) : (string * string * report) option =
       | Some bits -> Int64.float_of_bits bits
       | None -> raise Bad
     in
-    let metrics : Metrics.snapshot option =
-      if !pos = n then None else Some (get_metrics ())
+    let metrics, provenance =
+      if version = legacy_codec_version then
+        (* OPR2: metrics presence inferred from end-of-record; no
+           provenance field existed. *)
+        ((if !pos = n then None else Some (get_metrics ())), None)
+      else begin
+        let metrics =
+          match (take 1).[0] with
+          | '0' -> None
+          | '1' -> Some (get_metrics ())
+          | _ -> raise Bad
+        in
+        let provenance =
+          if !pos = n then None
+          else
+            match Provenance.decode (get_str ()) with
+            | Some p -> Some p
+            | None -> raise Bad
+        in
+        (metrics, provenance)
+      end
     in
     if !pos <> n then raise Bad;
     ( label,
@@ -711,6 +975,7 @@ let decode_result (s : string) : (string * string * report) option =
         degradations;
         elapsed_s;
         metrics;
+        provenance;
       } )
   with
   | r -> Some r

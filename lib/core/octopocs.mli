@@ -10,6 +10,11 @@ module Taint = Octo_taint.Taint
 module Directed = Octo_symex.Directed
 module Metrics = Octo_util.Metrics
 
+(** Per-pair causal evidence log (why a verdict came out the way it did);
+    see {!Provenance}.  Re-exported here because the library's wrapped
+    modules are only reachable through this interface. *)
+module Provenance = Provenance
+
 (** Why a vulnerability was proven not triggerable — the paper's
     verification cases (ii), (iii) and the constraint-conflict outcomes. *)
 type not_triggerable_reason =
@@ -55,10 +60,37 @@ type report = {
           enabled ({!Octo_util.Metrics.enable} / [--metrics]); [None]
           otherwise.  Persisted by {!encode_result} as an optional tail
           field, so pre-metrics journals stay decodable. *)
+  provenance : Provenance.t option;
+      (** per-pair causal evidence log, recorded when collection was
+          enabled ({!Provenance.enable} / [--provenance]); [None]
+          otherwise.  Persisted as an optional OPR3 tail field (pre-OPR3
+          journals decode with [None]) and rendered by
+          {!explain_report}. *)
 }
 
 val pp_reason : Format.formatter -> not_triggerable_reason -> unit
 val pp_verdict : Format.formatter -> verdict -> unit
+
+(** [conflict_detail prov] distills the last P3 conflict recorded in
+    [prov] into one sentence naming the conflicting bunch bytes (or
+    replayed arguments) and the T-side path constraint they clash with;
+    [None] when no provenance or no conflict was recorded. *)
+val conflict_detail : Provenance.t option -> string option
+
+(** [pp_verdict_prov prov ppf v] is {!pp_verdict} upgraded in place by
+    provenance: a [Constraint_conflict] verdict additionally names the
+    conflicting bunch and constraint when a conflict core is available.
+    Byte-identical to {!pp_verdict} when [prov] is [None] or carries no
+    conflict. *)
+val pp_verdict_prov : Provenance.t option -> Format.formatter -> verdict -> unit
+
+(** [explain_report ~label r] renders the deterministic human-readable
+    explanation narrative for one verified pair (the [explain]
+    subcommand's output): verdict header, per-phase provenance sections,
+    the expanded minimized core of the last conflict, ladder rungs.  No
+    timings or other run-varying data — byte-identical across runs of the
+    same pair. *)
+val explain_report : label:string -> report -> string
 
 (** [verdict_class v] renders the paper's Table II class:
     ["Type-I"], ["Type-II"], ["Type-III"] or ["Failure"]. *)

@@ -1,0 +1,382 @@
+(* Per-pair causal evidence log.  See the interface for the event
+   taxonomy; this file is the recording machinery (Metrics-style gated
+   ring buffer) plus the total binary codec used by the journal tail. *)
+
+type origin =
+  | Bunch_byte of { bunch : int; off : int; value : int }
+  | Replayed_arg of { bunch : int; arg : int; value : int }
+  | Path_constraint
+
+type core_entry = { origin : origin; cond : string }
+
+type event =
+  | Taint_bunch of {
+      seq : int;
+      anchor : int;
+      ranges : (int * int) list;
+      tainted_args : int list;
+      sites : string list;
+    }
+  | Branch_forced of { func : string; pc : int; preferred_taken : bool }
+  | Loop_retry of { func : string; pc : int; granted : int; theta : int }
+  | Path_pruned of { func : string; pc : int }
+  | Bunch_pinned of { seq : int; file_pos : int; nbytes : int; args_replayed : int }
+  | Conflict of { seq : int; core : core_entry list }
+  | Crash_site of { func : string; pc : int; fault : string; in_ell : bool }
+  | Rung of { rung : string; failure : string }
+
+type t = { events : event list; dropped : int }
+
+let empty = { events = []; dropped = 0 }
+
+(* -- recording ---------------------------------------------------------- *)
+
+(* The hot-path discipline is Metrics': one [Atomic.get] on [on] per hook
+   site when disabled.  When enabled, each domain records into its own
+   ring buffer (a plain array indexed modulo the cap) — no locks, no
+   cross-domain contention, and [scoped] collects/reset it around one
+   pair. *)
+let on = Atomic.make false
+let default_cap = 4096
+let ring_cap = Atomic.make default_cap
+
+type cell = {
+  mutable buf : event option array;  (* ring; length = cap at creation *)
+  mutable count : int;  (* events emitted since the last reset *)
+}
+
+let cell_key : cell Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { buf = [||]; count = 0 })
+
+let is_on () = Atomic.get on
+
+let enable ?(cap = default_cap) () =
+  if cap < 1 then invalid_arg "Provenance.enable: cap must be >= 1";
+  Atomic.set ring_cap cap;
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let emit ev =
+  if Atomic.get on then begin
+    let c = Domain.DLS.get cell_key in
+    if Array.length c.buf = 0 then c.buf <- Array.make (Atomic.get ring_cap) None;
+    c.buf.(c.count mod Array.length c.buf) <- Some ev;
+    c.count <- c.count + 1
+  end
+
+let reset c =
+  Array.fill c.buf 0 (Array.length c.buf) None;
+  c.count <- 0
+
+let collect c =
+  let n = Array.length c.buf in
+  if n = 0 || c.count = 0 then empty
+  else begin
+    let kept = min c.count n in
+    let start = if c.count <= n then 0 else c.count mod n in
+    let events =
+      List.init kept (fun i ->
+          match c.buf.((start + i) mod n) with Some e -> e | None -> assert false)
+    in
+    { events; dropped = c.count - kept }
+  end
+
+let scoped f =
+  if not (Atomic.get on) then (f (), None)
+  else begin
+    let c = Domain.DLS.get cell_key in
+    if Array.length c.buf = 0 then c.buf <- Array.make (Atomic.get ring_cap) None;
+    reset c;
+    let v = f () in
+    (v, Some (collect c))
+  end
+
+(* -- small helpers ------------------------------------------------------ *)
+
+let ranges_of_offsets offs =
+  let sorted = List.sort_uniq compare offs in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | o :: rest -> (
+        match acc with
+        | (lo, hi) :: tl when o = hi + 1 -> go ((lo, o) :: tl) rest
+        | _ -> go ((o, o) :: acc) rest)
+  in
+  go [] sorted
+
+let event_count t = List.length t.events
+
+let last_conflict t =
+  List.fold_left
+    (fun acc ev -> match ev with Conflict { seq; core } -> Some (seq, core) | _ -> acc)
+    None t.events
+
+let conflict_core_size t =
+  match last_conflict t with Some (_, core) -> List.length core | None -> 0
+
+(* -- pretty-printing ---------------------------------------------------- *)
+
+let pp_ranges ppf rs =
+  let pp_one ppf (lo, hi) =
+    if lo = hi then Fmt.pf ppf "%d" lo else Fmt.pf ppf "%d..%d" lo hi
+  in
+  Fmt.pf ppf "%a" Fmt.(list ~sep:(any ",") pp_one) rs
+
+let pp_origin ppf = function
+  | Bunch_byte { bunch; off; value } ->
+      Fmt.pf ppf "bunch %d byte in[%d]=0x%02x" bunch off (value land 0xff)
+  | Replayed_arg { bunch; arg; value } ->
+      Fmt.pf ppf "bunch %d replayed arg #%d=%d" bunch arg value
+  | Path_constraint -> Fmt.pf ppf "T path constraint"
+
+let pp_event ppf = function
+  | Taint_bunch { seq; anchor; ranges; tainted_args; sites } ->
+      Fmt.pf ppf "taint: bunch %d bytes %a (anchor %d) consumed in [%s]%s" seq pp_ranges
+        ranges anchor
+        (String.concat "," sites)
+        (match tainted_args with
+        | [] -> ""
+        | xs -> "; tainted args " ^ String.concat "," (List.map string_of_int xs))
+  | Branch_forced { func; pc; preferred_taken } ->
+      Fmt.pf ppf "symex: branch %s@%d forced to %s (preferred %s refuted)" func pc
+        (if preferred_taken then "fall-through" else "taken")
+        (if preferred_taken then "taken" else "fall-through")
+  | Loop_retry { func; pc; granted; theta } ->
+      Fmt.pf ppf "symex: loop %s@%d granted iteration %d/%d" func pc granted theta
+  | Path_pruned { func; pc } ->
+      Fmt.pf ppf "symex: state pruned at %s@%d (both directions unsat)" func pc
+  | Bunch_pinned { seq; file_pos; nbytes; args_replayed } ->
+      Fmt.pf ppf "combine: bunch %d pinned at offset %d (%d byte pin%s, %d replayed arg%s)"
+        seq file_pos nbytes
+        (if nbytes = 1 then "" else "s")
+        args_replayed
+        (if args_replayed = 1 then "" else "s")
+  | Conflict { seq; core } ->
+      Fmt.pf ppf "combine: CONFLICT pinning bunch %d (%d-constraint core)" seq
+        (List.length core)
+  | Crash_site { func; pc; fault; in_ell } ->
+      Fmt.pf ppf "verify: crash %s at %s@%d (%s)" fault func pc
+        (if in_ell then "inside ℓ" else "outside ℓ")
+  | Rung { rung; failure } -> Fmt.pf ppf "ladder: %s after %S" rung failure
+
+(* -- binary codec ------------------------------------------------------- *)
+
+(* Same conventions as the OPR verdict codec in octopocs.ml: u32le string
+   length prefixes, i64le ints, count prefixes validated against the
+   remaining bytes before any allocation, [decode] total.  The blob this
+   produces is itself a length-prefixed string inside the OPR3 record, so
+   its layout can evolve with the leading version byte. *)
+
+let codec_version = 'p' (* provenance codec v1 *)
+
+let put_str b s =
+  let l = Bytes.create 4 in
+  Bytes.set_int32_le l 0 (Int32.of_int (String.length s));
+  Buffer.add_bytes b l;
+  Buffer.add_string b s
+
+let put_int b i =
+  let l = Bytes.create 8 in
+  Bytes.set_int64_le l 0 (Int64.of_int i);
+  Buffer.add_bytes b l
+
+let put_origin b = function
+  | Bunch_byte { bunch; off; value } ->
+      Buffer.add_char b 'b';
+      put_int b bunch;
+      put_int b off;
+      put_int b value
+  | Replayed_arg { bunch; arg; value } ->
+      Buffer.add_char b 'a';
+      put_int b bunch;
+      put_int b arg;
+      put_int b value
+  | Path_constraint -> Buffer.add_char b 't'
+
+let put_event b = function
+  | Taint_bunch { seq; anchor; ranges; tainted_args; sites } ->
+      Buffer.add_char b 'B';
+      put_int b seq;
+      put_int b anchor;
+      put_int b (List.length ranges);
+      List.iter
+        (fun (lo, hi) ->
+          put_int b lo;
+          put_int b hi)
+        ranges;
+      put_int b (List.length tainted_args);
+      List.iter (put_int b) tainted_args;
+      put_int b (List.length sites);
+      List.iter (put_str b) sites
+  | Branch_forced { func; pc; preferred_taken } ->
+      Buffer.add_char b 'F';
+      put_str b func;
+      put_int b pc;
+      Buffer.add_char b (if preferred_taken then '1' else '0')
+  | Loop_retry { func; pc; granted; theta } ->
+      Buffer.add_char b 'L';
+      put_str b func;
+      put_int b pc;
+      put_int b granted;
+      put_int b theta
+  | Path_pruned { func; pc } ->
+      Buffer.add_char b 'P';
+      put_str b func;
+      put_int b pc
+  | Bunch_pinned { seq; file_pos; nbytes; args_replayed } ->
+      Buffer.add_char b 'N';
+      put_int b seq;
+      put_int b file_pos;
+      put_int b nbytes;
+      put_int b args_replayed
+  | Conflict { seq; core } ->
+      Buffer.add_char b 'C';
+      put_int b seq;
+      put_int b (List.length core);
+      List.iter
+        (fun { origin; cond } ->
+          put_origin b origin;
+          put_str b cond)
+        core
+  | Crash_site { func; pc; fault; in_ell } ->
+      Buffer.add_char b 'X';
+      put_str b func;
+      put_int b pc;
+      put_str b fault;
+      Buffer.add_char b (if in_ell then '1' else '0')
+  | Rung { rung; failure } ->
+      Buffer.add_char b 'R';
+      put_str b rung;
+      put_str b failure
+
+let encode (t : t) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_char b codec_version;
+  put_int b t.dropped;
+  put_int b (List.length t.events);
+  List.iter (put_event b) t.events;
+  Buffer.contents b
+
+let decode (s : string) : t option =
+  let pos = ref 0 in
+  let n = String.length s in
+  let exception Bad in
+  let take k =
+    if n - !pos < k then raise Bad;
+    let r = String.sub s !pos k in
+    pos := !pos + k;
+    r
+  in
+  let get_char () = (take 1).[0] in
+  let get_bool () =
+    match get_char () with '1' -> true | '0' -> false | _ -> raise Bad
+  in
+  let get_str () =
+    let l = take 4 in
+    let len =
+      Char.code l.[0] lor (Char.code l.[1] lsl 8) lor (Char.code l.[2] lsl 16)
+      lor (Char.code l.[3] lsl 24)
+    in
+    if len < 0 || len > n - !pos then raise Bad;
+    take len
+  in
+  let get_int () =
+    let s = take 8 in
+    Int64.to_int (Bytes.get_int64_le (Bytes.unsafe_of_string s) 0)
+  in
+  (* Count prefixes: each element costs at least [min_elem] bytes, so a
+     count beyond the remaining budget is corrupt — reject before
+     allocating. *)
+  let get_count ~min_elem =
+    let k = get_int () in
+    let min_elem = max 1 min_elem in
+    if k < 0 || k > (n - !pos) / min_elem then raise Bad;
+    k
+  in
+  let get_origin () =
+    match get_char () with
+    | 'b' ->
+        let bunch = get_int () in
+        let off = get_int () in
+        let value = get_int () in
+        Bunch_byte { bunch; off; value }
+    | 'a' ->
+        let bunch = get_int () in
+        let arg = get_int () in
+        let value = get_int () in
+        Replayed_arg { bunch; arg; value }
+    | 't' -> Path_constraint
+    | _ -> raise Bad
+  in
+  let get_event () =
+    match get_char () with
+    | 'B' ->
+        let seq = get_int () in
+        let anchor = get_int () in
+        let nr = get_count ~min_elem:16 in
+        let ranges =
+          List.init nr (fun _ ->
+              let lo = get_int () in
+              let hi = get_int () in
+              (lo, hi))
+        in
+        let na = get_count ~min_elem:8 in
+        let tainted_args = List.init na (fun _ -> get_int ()) in
+        let ns = get_count ~min_elem:4 in
+        let sites = List.init ns (fun _ -> get_str ()) in
+        Taint_bunch { seq; anchor; ranges; tainted_args; sites }
+    | 'F' ->
+        let func = get_str () in
+        let pc = get_int () in
+        let preferred_taken = get_bool () in
+        Branch_forced { func; pc; preferred_taken }
+    | 'L' ->
+        let func = get_str () in
+        let pc = get_int () in
+        let granted = get_int () in
+        let theta = get_int () in
+        Loop_retry { func; pc; granted; theta }
+    | 'P' ->
+        let func = get_str () in
+        let pc = get_int () in
+        Path_pruned { func; pc }
+    | 'N' ->
+        let seq = get_int () in
+        let file_pos = get_int () in
+        let nbytes = get_int () in
+        let args_replayed = get_int () in
+        Bunch_pinned { seq; file_pos; nbytes; args_replayed }
+    | 'C' ->
+        let seq = get_int () in
+        let nc = get_count ~min_elem:5 in
+        let core =
+          List.init nc (fun _ ->
+              let origin = get_origin () in
+              let cond = get_str () in
+              { origin; cond })
+        in
+        Conflict { seq; core }
+    | 'X' ->
+        let func = get_str () in
+        let pc = get_int () in
+        let fault = get_str () in
+        let in_ell = get_bool () in
+        Crash_site { func; pc; fault; in_ell }
+    | 'R' ->
+        let rung = get_str () in
+        let failure = get_str () in
+        Rung { rung; failure }
+    | _ -> raise Bad
+  in
+  match
+    if get_char () <> codec_version then raise Bad;
+    let dropped = get_int () in
+    if dropped < 0 then raise Bad;
+    let nev = get_count ~min_elem:1 in
+    let events = List.init nev (fun _ -> get_event ()) in
+    if !pos <> n then raise Bad;
+    { events; dropped }
+  with
+  | t -> Some t
+  | exception Bad -> None

@@ -545,3 +545,50 @@ let sat ?budget ?deadline (s : store) (extra : Expr.cond list) : solve_result =
   let s' = copy s in
   let ok = List.for_all (fun c -> add s' c = Ok) extra in
   if not ok then Unsat_result else solve ?budget ?deadline s'
+
+(** [unsat_core ?solve_budget ?max_constraints cs] minimizes an
+    unsatisfiable constraint set by greedy deletion: every constraint is
+    tried for removal once, in order, and dropped iff the remainder is
+    still refutable.  Refutability is checked first at propagation level
+    (some [add] into a fresh store returns [Unsat] — the common case for
+    P3 pin conflicts, and cheap) and then, for sets only the model search
+    can refute, by a [solve] bounded at [solve_budget] nodes, where
+    [Unknown] conservatively counts as "not refuted" (the constraint is
+    kept).  Returns [] when the input set is not detectably unsatisfiable
+    within the budgets, or when it exceeds [max_constraints] (the pass is
+    quadratic).  Deterministic: the core preserves input order and
+    depends only on the input list. *)
+let unsat_core ?(solve_budget = 20_000) ?(max_constraints = 400) (cs : Expr.cond list) :
+    Expr.cond list =
+  let refuted set =
+    let s = create () in
+    let rec add_all = function
+      | [] -> false
+      | c :: rest -> ( match add s c with Unsat -> true | Ok -> add_all rest)
+    in
+    add_all set
+    || (match solve ~budget:solve_budget s with
+       | Unsat_result -> true
+       | Sat _ | Unknown -> false)
+  in
+  let n = List.length cs in
+  if n = 0 || n > max_constraints || not (refuted cs) then []
+  else begin
+    let arr = Array.of_list cs in
+    let keep = Array.make n true in
+    let without i =
+      let acc = ref [] in
+      for j = n - 1 downto 0 do
+        if keep.(j) && j <> i then acc := arr.(j) :: !acc
+      done;
+      !acc
+    in
+    for i = 0 to n - 1 do
+      if refuted (without i) then keep.(i) <- false
+    done;
+    let acc = ref [] in
+    for j = n - 1 downto 0 do
+      if keep.(j) then acc := arr.(j) :: !acc
+    done;
+    !acc
+  end

@@ -53,6 +53,20 @@ type stats = {
       (** branch directions refuted as unsat by [take_branch] *)
 }
 
+(** Optional path-decision observer, for the provenance layer: the
+    executor itself stays agnostic of how the evidence is stored (the
+    core library sits above this one in the dependency order).  All
+    callbacks fire on the slow paths only — a probe-free run pays one
+    pattern match per event site. *)
+type probe = {
+  on_forced : func:string -> pc:int -> preferred_taken:bool -> unit;
+      (** the distance-preferred direction was unsat; fell back *)
+  on_pruned : func:string -> pc:int -> unit;
+      (** both directions unsat: the state died at this branch *)
+  on_loop_retry : func:string -> pc:int -> granted:int -> theta:int -> unit;
+      (** a loop-dead run granted this loop one more iteration *)
+}
+
 let fresh_stats () =
   { runs = 0; total_steps = 0; branches_decided = 0; loop_retries = 0; states_pruned = 0 }
 
@@ -93,7 +107,8 @@ let run_once ~(config : config) ~(deadline : Deadline.t) ~(distance : string -> 
     ~(iters : (string * int, int) Hashtbl.t)
     ~(heads : (string, (int, unit) Hashtbl.t) Hashtbl.t)
     ~(on_ep : Sym_state.t -> count:int -> args:Expr.t list -> file_pos:int -> ep_action)
-    ~(stats : stats) (prog : Isa.program) ~(ep : string) ~sym_file_size : attempt =
+    ~(probe : probe option) ~(stats : stats) (prog : Isa.program) ~(ep : string)
+    ~sym_file_size : attempt =
   let st = Sym_state.create ~sym_file_size prog ~ep in
   let last_loop_exit = ref None in
   let iter_budget key = match Hashtbl.find_opt iters key with Some n -> n | None -> 0 in
@@ -151,6 +166,10 @@ let run_once ~(config : config) ~(deadline : Deadline.t) ~(distance : string -> 
           else begin
             stats.states_pruned <- stats.states_pruned + 1;
             if Sym_state.take_branch st br ~taken:(not preferred) then begin
+              (match probe with
+              | Some p ->
+                  p.on_forced ~func:br.br_func ~pc:br.br_pc ~preferred_taken:preferred
+              | None -> ());
               (* Fallback direction; if we were forced OUT of a loop that we
                  wanted to continue, that is also an exit event. *)
               if is_loop && not preferred = not continue_dir then
@@ -159,6 +178,9 @@ let run_once ~(config : config) ~(deadline : Deadline.t) ~(distance : string -> 
             end
             else begin
               stats.states_pruned <- stats.states_pruned + 1;
+              (match probe with
+              | Some p -> p.on_pruned ~func:br.br_func ~pc:br.br_pc
+              | None -> ());
               A_dead !last_loop_exit
             end
           end)
@@ -168,14 +190,15 @@ let run_once ~(config : config) ~(deadline : Deadline.t) ~(distance : string -> 
   stats.total_steps <- stats.total_steps + st.steps;
   r
 
-(** [run ?config ?deadline prog ~ep ~cfg ~on_ep] drives directed symbolic
-    execution with loop-state retry.  [on_ep] is invoked at every entry of
-    [ep] — the combining phase P3 lives in that callback (see
-    {!Octopocs.Phases}).  The [deadline] is polled every 1024 symbolic
-    steps; {!Octo_util.Deadline.Deadline_exceeded} propagates to the
-    caller. *)
+(** [run ?config ?probe ?deadline prog ~ep ~cfg ~on_ep] drives directed
+    symbolic execution with loop-state retry.  [on_ep] is invoked at every
+    entry of [ep] — the combining phase P3 lives in that callback (see
+    {!Octopocs.Phases}).  [probe] observes path decisions (forced
+    fallbacks, prunes, loop-retry grants) for the provenance layer.  The
+    [deadline] is polled every 1024 symbolic steps;
+    {!Octo_util.Deadline.Deadline_exceeded} propagates to the caller. *)
 let run ?(config = default_config) ?(sym_file_size = Sym_state.default_sym_file_size)
-    ?(deadline = Deadline.none) (prog : Isa.program) ~(ep : string) ~(cfg : Cfg.t)
+    ?probe ?(deadline = Deadline.none) (prog : Isa.program) ~(ep : string) ~(cfg : Cfg.t)
     ~(on_ep : Sym_state.t -> count:int -> args:Expr.t list -> file_pos:int -> ep_action) :
     outcome * stats =
   let stats = fresh_stats () in
@@ -190,7 +213,7 @@ let run ?(config = default_config) ?(sym_file_size = Sym_state.default_sym_file_
     let rec attempt n =
       if n >= config.max_runs then Failed (Budget_exhausted "loop retries")
       else
-        match run_once ~config ~deadline ~distance ~iters ~heads ~on_ep ~stats prog ~ep ~sym_file_size with
+        match run_once ~config ~deadline ~distance ~iters ~heads ~on_ep ~probe ~stats prog ~ep ~sym_file_size with
         | A_reached st -> Reached st
         | A_conflict k -> Failed (Constraint_conflict k)
         | A_steps -> Failed (Budget_exhausted "symbolic steps")
@@ -203,6 +226,11 @@ let run ?(config = default_config) ?(sym_file_size = Sym_state.default_sym_file_
             else begin
               Hashtbl.replace iters loop_key (cur + 1);
               stats.loop_retries <- stats.loop_retries + 1;
+              (match probe with
+              | Some p ->
+                  p.on_loop_retry ~func:(fst loop_key) ~pc:(snd loop_key)
+                    ~granted:(cur + 1) ~theta:config.theta
+              | None -> ());
               attempt (n + 1)
             end
     in

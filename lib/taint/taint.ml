@@ -55,6 +55,10 @@ type bunch = {
           contiguously from the first indicator — which is precisely why the
           context-free baseline fails on multi-entry vulnerabilities
           (Table III) *)
+  sites : string list;
+      (** functions (inside the dynamic extent of this [ep] entry) whose
+          tainted memory accesses consumed the primitives — the ℓ
+          access-site evidence the provenance layer reports; sorted *)
 }
 
 type result = {
@@ -66,13 +70,17 @@ type result = {
 }
 
 (* Mutable extraction state threaded through the interpreter hooks. *)
+module Sites = Set.Make (String)
+
 type state = {
   taint : (Interp.obj, Offsets.t) Hashtbl.t;
   mutable bunch_offsets : Offsets.t array; (* index = ep entry - 1 *)
   mutable bunch_args : (int * bool) list array;
   mutable bunch_anchor : int array;
+  mutable bunch_sites : Sites.t array;
   mutable ep_count : int;
   mutable ep_depth : int;     (* dynamic-extent counter for recursive ep *)
+  mutable fstack : string list;  (* dynamic call stack (function names) *)
   mutable file_pos : int;     (* tracked file position indicator *)
   mutable peak : int;
   ep : string;
@@ -84,7 +92,8 @@ let grow_bunches st =
     let copy_into blank old = Array.blit old 0 blank 0 (Array.length old); blank in
     st.bunch_offsets <- copy_into (Array.make n Offsets.empty) st.bunch_offsets;
     st.bunch_args <- copy_into (Array.make n []) st.bunch_args;
-    st.bunch_anchor <- copy_into (Array.make n 0) st.bunch_anchor
+    st.bunch_anchor <- copy_into (Array.make n 0) st.bunch_anchor;
+    st.bunch_sites <- copy_into (Array.make n Sites.empty) st.bunch_sites
   end
 
 let taint_of st obj =
@@ -93,7 +102,12 @@ let taint_of st obj =
 let mark st offs =
   if st.ep_count >= 1 then begin
     let i = st.ep_count - 1 in
-    st.bunch_offsets.(i) <- Offsets.union st.bunch_offsets.(i) offs
+    st.bunch_offsets.(i) <- Offsets.union st.bunch_offsets.(i) offs;
+    (* Access-site evidence: the function whose instruction consumed the
+       tainted bytes is the top of the dynamic call stack. *)
+    match st.fstack with
+    | site :: _ -> st.bunch_sites.(i) <- Sites.add site st.bunch_sites.(i)
+    | [] -> ()
   end
 
 (* The taint-propagation rule of Algorithm 1 lines 7-11, joined over all read
@@ -125,8 +139,10 @@ let extract ?(mode = Context_aware) ?(granularity = Byte_level) (prog : Isa.prog
       bunch_offsets = [||];
       bunch_args = [||];
       bunch_anchor = [||];
+      bunch_sites = [||];
       ep_count = 0;
       ep_depth = 0;
+      fstack = [ prog.Isa.entry ];
       file_pos = 0;
       peak = 0;
       ep;
@@ -161,6 +177,7 @@ let extract ?(mode = Context_aware) ?(granularity = Byte_level) (prog : Isa.prog
       on_seek = (fun ~fd:_ ~pos -> st.file_pos <- pos);
       on_call =
         (fun ~fname ~frame_id ~args ->
+          st.fstack <- fname :: st.fstack;
           if fname = st.ep then begin
             st.ep_count <- st.ep_count + 1;
             st.ep_depth <- st.ep_depth + 1;
@@ -173,28 +190,32 @@ let extract ?(mode = Context_aware) ?(granularity = Byte_level) (prog : Isa.prog
                 args;
             st.bunch_anchor.(st.ep_count - 1) <- st.file_pos
           end);
-      on_ret = (fun fname -> if fname = st.ep then st.ep_depth <- max 0 (st.ep_depth - 1));
+      on_ret =
+        (fun fname ->
+          (match st.fstack with top :: rest when top = fname -> st.fstack <- rest | _ -> ());
+          if fname = st.ep then st.ep_depth <- max 0 (st.ep_depth - 1));
     }
   in
   let run_result = Interp.run ~hooks prog ~input:poc in
   let crash = match run_result.outcome with Interp.Crashed c -> Some c | Interp.Exited _ -> None in
   let value_at off = if off >= 0 && off < String.length poc then Char.code poc.[off] else 0 in
-  let bunch_of_set ~merged seq offs args anchor =
+  let bunch_of_set ~merged seq offs args anchor sites =
     { seq; prims = List.map (fun o -> (o, value_at o)) (Offsets.elements offs); ep_args = args;
-      anchor; merged }
+      anchor; merged; sites = Sites.elements sites }
   in
   let bunches =
     match mode with
     | Context_aware ->
         List.init st.ep_count (fun i ->
             bunch_of_set ~merged:false (i + 1) st.bunch_offsets.(i) st.bunch_args.(i)
-              st.bunch_anchor.(i))
+              st.bunch_anchor.(i) st.bunch_sites.(i))
     | Plain ->
         (* Baseline: one merged bunch, anchored at the first entry. *)
         if st.ep_count = 0 then []
         else
           let all = Array.fold_left Offsets.union Offsets.empty st.bunch_offsets in
-          [ bunch_of_set ~merged:true 1 all st.bunch_args.(0) st.bunch_anchor.(0) ]
+          let all_sites = Array.fold_left Sites.union Sites.empty st.bunch_sites in
+          [ bunch_of_set ~merged:true 1 all st.bunch_args.(0) st.bunch_anchor.(0) all_sites ]
   in
   let marked =
     List.fold_left (fun acc b -> Offsets.union acc (Offsets.of_list (List.map fst b.prims)))

@@ -40,6 +40,10 @@ type bunch = {
           [offset - anchor] relative to the indicator in the reformed PoC *)
   merged : bool;
       (** true for the {!Plain} baseline's single merged bunch *)
+  sites : string list;
+      (** functions (inside this [ep] entry's dynamic extent) whose
+          tainted accesses consumed the primitives, sorted — the ℓ
+          access-site evidence reported by the provenance layer *)
 }
 
 type result = {

@@ -1,4 +1,4 @@
-(* Golden regression test pinning Table II.
+(* Golden regression tests pinning Table II and the explain narratives.
 
    Every registry pair is run at DEFAULT budgets and the resulting
    (pair, verdict-class, degradations) tuples are compared line-for-line
@@ -6,14 +6,24 @@
    that moves a verdict or climbs a ladder rung shows up as a readable
    diff here, not as a silent drift.
 
+   The same treatment pins the [explain] subcommand's output for two
+   representative pairs: pair 1 (Triggered, Type-I — the happy path with
+   taint, pinning and crash-site evidence) and pair 13 (Not_triggerable
+   via Constraint_conflict — the minimized core naming the replayed
+   argument that clashes with T's own path constraint).  The narrative is
+   documented as deterministic and diffable; these goldens plus the
+   determinism case below are what hold that promise.
+
    Regeneration (after an INTENTIONAL change, from the repo root):
 
      OCTOPOCS_REGEN_GOLDEN=$PWD/test/golden_table2.txt dune runtest --force
 
-   The test then rewrites the golden file in place and passes; review and
-   commit the diff. *)
+   All golden files (Table II and the explain narratives) are rewritten
+   into the env var's directory and the tests pass; review and commit the
+   diff. *)
 
 module Registry = Octo_targets.Registry
+module Prov = Octopocs.Provenance
 
 let golden_path = "golden_table2.txt"
 
@@ -37,15 +47,20 @@ let read_lines path =
   in
   go []
 
+let regen_target () =
+  match Sys.getenv_opt "OCTOPOCS_REGEN_GOLDEN" with
+  | Some out when out <> "" -> Some out
+  | _ -> None
+
 let golden_test () =
   let lines = render_lines () in
-  match Sys.getenv_opt "OCTOPOCS_REGEN_GOLDEN" with
-  | Some out when out <> "" ->
+  match regen_target () with
+  | Some out ->
       let oc = open_out out in
       List.iter (fun l -> output_string oc (l ^ "\n")) lines;
       close_out oc;
       Printf.printf "regenerated %s (%d lines)\n" out (List.length lines)
-  | _ ->
+  | None ->
       if not (Sys.file_exists golden_path) then
         Alcotest.failf
           "%s missing — regenerate with OCTOPOCS_REGEN_GOLDEN=$PWD/test/%s dune runtest \
@@ -54,4 +69,62 @@ let golden_test () =
       Alcotest.(check (list string)) "Table II verdicts and degradations" (read_lines golden_path)
         lines
 
-let suite = [ Alcotest.test_case "Table II golden (default budgets)" `Quick golden_test ]
+(* -- explain narratives ------------------------------------------------ *)
+
+(* One full pipeline run of pair [idx] with provenance collection on,
+   rendered exactly as the [explain] subcommand would. *)
+let render_explain idx =
+  let c = Registry.find idx in
+  let was_on = Prov.is_on () in
+  if not was_on then Prov.enable ();
+  let r = Octopocs.run ~s:c.s ~t:c.t ~poc:c.poc () in
+  if not was_on then Prov.disable ();
+  Octopocs.explain_report ~label:(Printf.sprintf "pair %d" idx) r
+
+let explain_golden_file idx = Printf.sprintf "golden_explain_pair%d.txt" idx
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let explain_golden_test idx () =
+  let rendered = render_explain idx in
+  let file = explain_golden_file idx in
+  match regen_target () with
+  | Some out ->
+      (* The env var names the Table II golden; its directory receives
+         every regenerated golden file. *)
+      let path = Filename.concat (Filename.dirname out) file in
+      let oc = open_out_bin path in
+      output_string oc rendered;
+      close_out oc;
+      Printf.printf "regenerated %s (%d bytes)\n" path (String.length rendered)
+  | None ->
+      if not (Sys.file_exists file) then
+        Alcotest.failf
+          "%s missing — regenerate with OCTOPOCS_REGEN_GOLDEN=$PWD/test/%s dune runtest \
+           --force"
+          file golden_path;
+      Alcotest.(check string)
+        (Printf.sprintf "explain narrative for pair %d" idx)
+        (read_file file) rendered
+
+(* Two independent full runs must render byte-identically — the narrative
+   carries no timings, addresses or other run-varying data. *)
+let explain_deterministic () =
+  let a = render_explain 13 in
+  let b = render_explain 13 in
+  Alcotest.(check string) "explain output is byte-stable across runs" a b
+
+let suite =
+  [
+    Alcotest.test_case "Table II golden (default budgets)" `Quick golden_test;
+    Alcotest.test_case "explain golden: pair 1 (Triggered, Type-I)" `Quick
+      (explain_golden_test 1);
+    Alcotest.test_case "explain golden: pair 13 (constraint conflict)" `Quick
+      (explain_golden_test 13);
+    Alcotest.test_case "explain is deterministic across runs" `Quick explain_deterministic;
+  ]

@@ -11,6 +11,7 @@
 module Q = Qcheck_lite
 module Journal = Octo_util.Journal
 module Metrics = Octo_util.Metrics
+module Prov = Octopocs.Provenance
 
 (* -- generators -------------------------------------------------------- *)
 
@@ -67,6 +68,81 @@ let gen_metrics : Metrics.snapshot option Q.gen =
     Some s
   end
 
+(* Provenance generators: every event constructor, binary-safe strings
+   (condition renderings and failure messages are raw text in real logs,
+   but the codec must survive arbitrary bytes). *)
+
+let gen_fname : string Q.gen = Q.byte_string (Q.int_range 1 10)
+
+let gen_origin : Prov.origin Q.gen =
+  Q.oneof
+    [|
+      (fun rng ->
+        let bunch = Q.int_range 1 9 rng in
+        let off = Q.int_range 0 500 rng in
+        Prov.Bunch_byte { bunch; off; value = Q.int_range 0 255 rng });
+      (fun rng ->
+        let bunch = Q.int_range 1 9 rng in
+        let arg = Q.int_range 0 7 rng in
+        Prov.Replayed_arg { bunch; arg; value = Q.int_range (-1000) 1000 rng });
+      Q.return Prov.Path_constraint;
+    |]
+
+let gen_core_entry : Prov.core_entry Q.gen =
+ fun rng ->
+  let origin = gen_origin rng in
+  { Prov.origin; cond = Q.byte_string (Q.int_range 0 20) rng }
+
+let gen_event : Prov.event Q.gen =
+  Q.oneof
+    [|
+      (fun rng ->
+        let seq = Q.int_range 1 9 rng in
+        let anchor = Q.int_range 0 100 rng in
+        let ranges =
+          Q.list_of (Q.int_range 0 4) (Q.pair (Q.int_range 0 100) (Q.int_range 0 100)) rng
+        in
+        let tainted_args = Q.list_of (Q.int_range 0 4) (Q.int_range 0 7) rng in
+        Prov.Taint_bunch
+          { seq; anchor; ranges; tainted_args; sites = Q.list_of (Q.int_range 0 3) gen_fname rng });
+      (fun rng ->
+        let func = gen_fname rng in
+        let pc = Q.int_range 0 999 rng in
+        Prov.Branch_forced { func; pc; preferred_taken = Q.bool rng });
+      (fun rng ->
+        let func = gen_fname rng in
+        let pc = Q.int_range 0 999 rng in
+        let granted = Q.int_range 1 200 rng in
+        Prov.Loop_retry { func; pc; granted; theta = Q.int_range 1 200 rng });
+      (fun rng ->
+        let func = gen_fname rng in
+        Prov.Path_pruned { func; pc = Q.int_range 0 999 rng });
+      (fun rng ->
+        let seq = Q.int_range 1 9 rng in
+        let file_pos = Q.int_range 0 100 rng in
+        let nbytes = Q.int_range 0 64 rng in
+        Prov.Bunch_pinned { seq; file_pos; nbytes; args_replayed = Q.int_range 0 8 rng });
+      (fun rng ->
+        let seq = Q.int_range 1 9 rng in
+        Prov.Conflict { seq; core = Q.list_of (Q.int_range 0 5) gen_core_entry rng });
+      (fun rng ->
+        let func = gen_fname rng in
+        let pc = Q.int_range 0 999 rng in
+        let fault = Q.byte_string (Q.int_range 0 24) rng in
+        Prov.Crash_site { func; pc; fault; in_ell = Q.bool rng });
+      (fun rng ->
+        let rung = gen_fname rng in
+        Prov.Rung { rung; failure = Q.byte_string (Q.int_range 0 30) rng });
+    |]
+
+let gen_prov : Prov.t Q.gen =
+ fun rng ->
+  let events = Q.list_of (Q.int_range 0 12) gen_event rng in
+  { Prov.events; dropped = Q.int_range 0 5 rng }
+
+let gen_provenance : Prov.t option Q.gen =
+ fun rng -> if Q.bool rng then None else Some (gen_prov rng)
+
 let gen_report : Octopocs.report Q.gen =
  fun rng ->
   let verdict = gen_verdict rng in
@@ -75,6 +151,7 @@ let gen_report : Octopocs.report Q.gen =
   let degradations = gen_degradations rng in
   let elapsed_s = float_of_int (Q.int_range 0 10_000 rng) /. 1000. in
   let metrics = gen_metrics rng in
+  let provenance = gen_provenance rng in
   {
     (Octopocs.failure_report "") with
     verdict;
@@ -83,6 +160,7 @@ let gen_report : Octopocs.report Q.gen =
     degradations;
     elapsed_s;
     metrics;
+    provenance;
   }
 
 let gen_labelled_report : (string * string * Octopocs.report) Q.gen =
@@ -132,6 +210,8 @@ let roundtrip_ok (label, key, (r : Octopocs.report)) =
           ("degradations", r'.degradations = r.degradations);
           ("elapsed_s", r'.elapsed_s = r.elapsed_s);
           ("metrics", metrics_eq r'.metrics r.metrics);
+          (* events are plain immutable data, structural equality is exact *)
+          ("provenance", r'.provenance = r.provenance);
         ]
       in
       List.iter
@@ -172,6 +252,101 @@ let truncate_none ((label, key, r), cut_frac) =
     | Some _ -> false
     | None -> true
   end
+
+(* -- provenance codec -------------------------------------------------- *)
+
+let prov_roundtrip_ok p = Prov.decode (Prov.encode p) = Some p
+let prov_decode_total s = match Prov.decode s with Some _ | None -> true
+
+let prov_flip_safe (p, (pos_frac, newbyte)) =
+  let enc = Prov.encode p in
+  if String.length enc = 0 then true
+  else begin
+    let b = Bytes.of_string enc in
+    Bytes.set b (pos_frac mod String.length enc) (Char.chr newbyte);
+    prov_decode_total (Bytes.to_string b)
+  end
+
+(* The provenance decoder consumes the exact layout its prefixes promise
+   and rejects records that end early or late, so every strict truncation
+   is detectably short. *)
+let prov_truncate_none (p, cut_frac) =
+  let enc = Prov.encode p in
+  let cut = cut_frac mod String.length enc in
+  match Prov.decode (String.sub enc 0 cut) with Some _ -> false | None -> true
+
+(* -- OPR2 legacy compatibility ----------------------------------------- *)
+
+(* Byte-faithful replica of the pre-provenance (OPR2) encoder: same fields
+   as OPR3 but metrics presence inferred from end-of-record and no
+   provenance tail.  Guards the decoder's promise that journals written
+   before the bump replay and resume unchanged. *)
+
+let put_str b s =
+  let l = Bytes.create 4 in
+  Bytes.set_int32_le l 0 (Int32.of_int (String.length s));
+  Buffer.add_bytes b l;
+  Buffer.add_string b s
+
+let put_int b i =
+  let l = Bytes.create 8 in
+  Bytes.set_int64_le l 0 (Int64.of_int i);
+  Buffer.add_bytes b l
+
+let put_str_list b xs =
+  put_int b (List.length xs);
+  List.iter (put_str b) xs
+
+let put_int_array b a =
+  put_int b (Array.length a);
+  Array.iter (put_int b) a
+
+let encode_result_opr2 ~label ~key (r : Octopocs.report) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "OPR2";
+  put_str b label;
+  put_str b key;
+  put_str b r.ep;
+  put_str_list b r.ell;
+  (match r.verdict with
+  | Octopocs.Triggered { poc'; ptype } ->
+      Buffer.add_char b 'T';
+      Buffer.add_char b (match ptype with Octopocs.Type_I -> '1' | Octopocs.Type_II -> '2');
+      put_str b poc'
+  | Octopocs.Not_triggerable reason ->
+      Buffer.add_char b 'N';
+      (match reason with
+      | Octopocs.Ep_not_called -> Buffer.add_char b 'e'
+      | Octopocs.Program_dead -> Buffer.add_char b 'd'
+      | Octopocs.Unsat_model -> Buffer.add_char b 'u'
+      | Octopocs.Constraint_conflict k ->
+          Buffer.add_char b 'c';
+          put_str b (string_of_int k))
+  | Octopocs.Failure msg ->
+      Buffer.add_char b 'F';
+      put_str b msg);
+  put_str_list b r.degradations;
+  put_str b (Int64.to_string (Int64.bits_of_float r.elapsed_s));
+  (match r.metrics with
+  | None -> ()
+  | Some (m : Metrics.snapshot) ->
+      put_int_array b m.Metrics.counters;
+      put_int_array b m.Metrics.phase_count;
+      put_int_array b m.Metrics.phase_ns;
+      put_int_array b m.Metrics.phase_hist);
+  Buffer.contents b
+
+let legacy_decodes_ok (label, key, (r : Octopocs.report)) =
+  match Octopocs.decode_result (encode_result_opr2 ~label ~key r) with
+  | None -> false
+  | Some (label', key', r') ->
+      label' = label && key' = key
+      && verdict_eq r'.verdict r.verdict
+      && r'.ep = r.ep && r'.ell = r.ell
+      && r'.degradations = r.degradations
+      && r'.elapsed_s = r.elapsed_s
+      && metrics_eq r'.metrics r.metrics
+      && r'.provenance = None
 
 (* -- journal corruption ------------------------------------------------ *)
 
@@ -275,6 +450,21 @@ let suite =
     Q.test_case "codec: truncations decode to None, never raise" ~seed:0x7C ~count:300
       (Q.pair gen_labelled_report (Q.int_range 0 1_000_000))
       truncate_none;
+    Q.test_case "codec: hand-built OPR2 records decode with provenance=None" ~seed:0x0972
+      ~count:300 gen_labelled_report legacy_decodes_ok;
+    Q.test_case "provenance: random logs round-trip exactly" ~seed:0x940C ~count:300
+      gen_prov prov_roundtrip_ok;
+    Q.test_case "provenance: decode is total on random bytes" ~seed:0x94BAD ~count:300
+      (Q.byte_string (Q.int_range 0 200))
+      prov_decode_total;
+    Q.test_case "provenance: single byte-flips never crash the decoder" ~seed:0x94F1
+      ~count:300
+      (Q.pair gen_prov (Q.pair (Q.int_range 0 1_000_000) (Q.int_range 0 255)))
+      prov_flip_safe;
+    Q.test_case "provenance: truncations decode to None, never raise" ~seed:0x947C
+      ~count:300
+      (Q.pair gen_prov (Q.int_range 0 1_000_000))
+      prov_truncate_none;
     Q.test_case "journal: random byte-flips -> replay returns a valid prefix" ~seed:0x10F1
       ~count:60
       (Q.pair gen_payloads gen_flips)
