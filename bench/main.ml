@@ -421,24 +421,25 @@ let bench_json () =
     ]
   in
   let serial_s = bench_table2 ~jobs:1 in
-  let parallel_s = bench_table2 ~jobs:4 in
   let cores = Domain.recommended_domain_count () in
   let eff = Octo_util.Pool.effective_jobs 4 in
+  (* On a single-core machine the pool clamps --jobs to 1, so a "parallel"
+     run would measure clamping overhead, not speedup: skip it and record
+     why, rather than publishing a meaningless ~1.0x number. *)
+  let parallel_s = if cores < 2 then None else Some (bench_table2 ~jobs:4) in
   let current =
     current
-    @ [
-        ("table2_serial_s", serial_s);
-        ("table2_parallel4_s", parallel_s);
-        ("cores", float_of_int cores);
-        ("effective_jobs_of_4", float_of_int eff);
-      ]
+    @ [ ("table2_serial_s", serial_s) ]
+    @ (match parallel_s with Some p -> [ ("table2_parallel4_s", p) ] | None -> [])
+    @ [ ("cores", float_of_int cores); ("effective_jobs_of_4", float_of_int eff) ]
   in
   List.iter (fun (k, v) -> say "  %-34s %14.1f" k v) current;
-  say "  %-34s %14.2fx" "parallel_speedup_4j" (serial_s /. parallel_s);
-  if cores = 1 then begin
-    say "  (single-core machine: the pool clamps --jobs to 1, so the";
-    say "   parallel run measures clamping overhead, not speedup)"
-  end;
+  (match parallel_s with
+  | Some p -> say "  %-34s %14.2fx" "parallel_speedup_4j" (serial_s /. p)
+  | None ->
+      say "  %-34s %14s" "parallel_speedup_4j" "skipped";
+      say "  (single-core machine: the pool clamps --jobs to 1, so the";
+      say "   parallel run would measure clamping overhead, not speedup)");
   (* With --trace the bench process has metrics collection on: entries
      carry a per-phase breakdown of one pipeline-pair1 run, so the JSON
      answers "where did the time go" and not just "how much". *)
@@ -481,9 +482,15 @@ let bench_json () =
       @ [ String.concat ",\n" (List.map field current) ]
       @ [ "  },"; "  \"speedup_vs_seed\": {" ]
       @ [ String.concat ",\n" speedups ]
-      @ [ "  },";
-          Printf.sprintf "  \"parallel_speedup_4j\": %.2f" (serial_s /. parallel_s);
-          "}"; "" ])
+      @ [ "  }," ]
+      @ (match parallel_s with
+        | Some p -> [ Printf.sprintf "  \"parallel_speedup_4j\": %.2f" (serial_s /. p) ]
+        | None ->
+            [
+              "  \"parallel_speedup_4j\": null,";
+              "  \"parallel_skipped_reason\": \"single-core machine (pool clamps --jobs to 1)\"";
+            ])
+      @ [ "}"; "" ])
   in
   let oc = open_out "BENCH_solver.json" in
   output_string oc json;

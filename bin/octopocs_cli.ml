@@ -44,13 +44,14 @@ let say fmt = Format.printf (fmt ^^ "@.")
    chaos seed derives one independent injector per pair (splitmix64 mixing
    of the pair index), so a batch's fault schedule does not depend on which
    worker domain picks up which job. *)
-let config_for ?(dynamic = false) ~deadline ~chaos_seed idx =
+let config_for ?(dynamic = false) ?(spec = 1) ~deadline ~chaos_seed idx =
   let inject =
     match chaos_seed with
     | None -> Faultinject.none
     | Some seed -> Faultinject.create ~seed:(seed lxor (idx * 0x9E3779B9)) ()
   in
-  { Octopocs.default_config with dynamic_cfg = dynamic; deadline_s = deadline; inject }
+  { Octopocs.default_config with
+    dynamic_cfg = dynamic; deadline_s = deadline; inject; spec_jobs = spec }
 
 (* A pair index from the command line is untrusted input: out-of-range or
    negative values get a one-line structured error and exit 2, never an
@@ -85,10 +86,11 @@ let pp_pair_metrics ~indent (m : Metrics.snapshot) =
   say "%sphases  : %s" indent (Fmt.str "%a" Metrics.pp_phases m);
   say "%scounters: %s" indent (Fmt.str "%a" Metrics.pp_counters m)
 
-let run_one ?(dynamic = false) ?deadline ?chaos_seed (c : Registry.case) : Octopocs.report =
+let run_one ?(dynamic = false) ?deadline ?chaos_seed ?spec (c : Registry.case) :
+    Octopocs.report =
   say "Pair %d: S=%s(%s)  T=%s(%s)  %s [%s]" c.idx c.s.pname c.s_version c.t.pname c.t_version
     c.vuln_id c.cwe;
-  let config = config_for ~dynamic ~deadline ~chaos_seed c.idx in
+  let config = config_for ~dynamic ?spec ~deadline ~chaos_seed c.idx in
   let r = Octopocs.run ~config ~s:c.s ~t:c.t ~poc:c.poc () in
   say "  ep      : %s" r.ep;
   say "  ℓ       : %s" (String.concat ", " r.ell);
@@ -184,15 +186,23 @@ let dynamic_arg =
        & info [ "dynamic-cfg" ]
            ~doc:"Repair CFG-recovery failures with dynamic devirtualization")
 
+let spec_jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "spec-jobs" ] ~docv:"N"
+           ~doc:"Speculative loop-retry width for directed symbolic execution: run up \
+                 to $(docv)-1 predicted retry attempts ahead on idle domains.  \
+                 Verdicts and deterministic counters are identical to a serial run; \
+                 ignored (forced to 1) while --provenance is on.  Default 1 (off).")
+
 let verify_cmd =
   let idx = Arg.(required & pos 0 (some int) None & info [] ~docv:"IDX") in
   Cmd.v (Cmd.info "verify" ~doc:"Verify one Table II pair")
-    Term.(const (fun dynamic deadline chaos_seed trace metrics provenance idx ->
+    Term.(const (fun dynamic deadline chaos_seed trace metrics provenance spec idx ->
               with_case idx (fun c ->
                   with_observability ~provenance ~trace ~metrics (fun () ->
-                      verdict_exit (run_one ~dynamic ?deadline ?chaos_seed c))))
+                      verdict_exit (run_one ~dynamic ?deadline ?chaos_seed ~spec c))))
           $ dynamic_arg $ deadline_arg $ chaos_seed_arg $ trace_arg $ metrics_arg
-          $ provenance_arg $ idx)
+          $ provenance_arg $ spec_jobs_arg $ idx)
 
 (* ------------------------------------------------------------------ *)
 (* verify-all: journaled, resumable batch verification. *)
@@ -213,7 +223,7 @@ type batch_outcome = Fresh of Octopocs.report | Cached of Octopocs.report
 let report_of = function Fresh r | Cached r -> r
 
 let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall_grace trace
-    metrics_on provenance_on =
+    metrics_on provenance_on spec =
   if resume && journal_path = None then
     structured_error "--resume requires --journal PATH"
   else begin
@@ -222,7 +232,7 @@ let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall
        the whole process, so the batch view is a diff, not an absolute. *)
     let m0 = Metrics.aggregate () in
     let t0 = Unix.gettimeofday () in
-    let config_of idx = config_for ~deadline ~chaos_seed idx in
+    let config_of idx = config_for ~spec ~deadline ~chaos_seed idx in
     let key_of (c : Registry.case) =
       Octopocs.content_key ~config:(config_of c.idx) ~s:c.s ~t:c.t ~poc:c.poc ()
     in
@@ -420,7 +430,8 @@ let verify_all_cmd =
                faithful full run exits 2.)";
          ])
     Term.(const run_all $ jobs $ retries $ deadline_arg $ chaos_seed_arg $ journal $ resume
-          $ fail_fast $ stall_grace $ trace_arg $ metrics_arg $ provenance_arg)
+          $ fail_fast $ stall_grace $ trace_arg $ metrics_arg $ provenance_arg
+          $ spec_jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain: render the causal evidence behind one verdict.  The live form

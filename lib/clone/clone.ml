@@ -59,6 +59,45 @@ let shared_functions ?level (s : program) (t : program) : clone_pair list =
     s.funcs;
   List.sort compare !pairs
 
+(* ------------------------------------------------------------------ *)
+(* Content-keyed result cache.
+
+   [shared_functions] re-fingerprints every function of BOTH programs on
+   every call — at ~86µs per pair-1-sized pair that is over half the whole
+   pipeline, paid again for every run, ladder rung and batch retry of the
+   same (s, t).  The result is a pure function of program content and the
+   abstraction level, so it is cached under the same canonical digest the
+   verdict cache builds on. *)
+
+let ell_cache : (level * string * string, clone_pair list) Hashtbl.t = Hashtbl.create 16
+let ell_cache_lock = Mutex.create ()
+let ell_cache_cap = 256
+
+(** [shared_functions_cached ?level ?sdig ?tdig s t] is {!shared_functions}
+    memoized by (level, content digest of [s], content digest of [t]).
+    [sdig]/[tdig] let callers that already digested the programs skip
+    recomputation; they MUST equal {!Octo_vm.Compile.program_digest} of the
+    respective program.  Hits are counted under
+    {!Octo_util.Metrics.Cache_hits}.  Safe under domains. *)
+let shared_functions_cached ?(level = Exact) ?sdig ?tdig (s : program) (t : program) :
+    clone_pair list =
+  let dig d p = match d with Some d -> d | None -> Octo_vm.Compile.program_digest p in
+  let key = (level, dig sdig s, dig tdig t) in
+  Mutex.lock ell_cache_lock;
+  let hit = Hashtbl.find_opt ell_cache key in
+  Mutex.unlock ell_cache_lock;
+  match hit with
+  | Some pairs ->
+      Octo_util.Metrics.incr Octo_util.Metrics.Cache_hits;
+      pairs
+  | None ->
+      let pairs = shared_functions ~level s t in
+      Mutex.lock ell_cache_lock;
+      if Hashtbl.length ell_cache >= ell_cache_cap then Hashtbl.reset ell_cache;
+      if not (Hashtbl.mem ell_cache key) then Hashtbl.add ell_cache key pairs;
+      Mutex.unlock ell_cache_lock;
+      pairs
+
 (** [ell_names pairs] is the ℓ set as T-side function names — the form the
     OCTOPOCS pipeline consumes. *)
 let ell_names pairs = List.map (fun p -> p.t_func) pairs

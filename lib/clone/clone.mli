@@ -25,6 +25,15 @@ type clone_pair = {
     fingerprint also occurs in [t]; same-name matches preferred. *)
 val shared_functions : ?level:level -> program -> program -> clone_pair list
 
+(** [shared_functions_cached ?level ?sdig ?tdig s t] is {!shared_functions}
+    memoized by program content digest (the canonical digest of
+    {!Octo_vm.Compile.program_digest}; pass [sdig]/[tdig] when already
+    computed).  The pipeline's hot path: clone detection re-fingerprints
+    both whole programs otherwise.  Hits count under
+    {!Octo_util.Metrics.Cache_hits}; safe under domains. *)
+val shared_functions_cached :
+  ?level:level -> ?sdig:string -> ?tdig:string -> program -> program -> clone_pair list
+
 (** [ell_names pairs] is ℓ as T-side function names — the form the
     OCTOPOCS pipeline consumes. *)
 val ell_names : clone_pair list -> string list

@@ -239,6 +239,12 @@ let place_bunches (bunches : Taint.bunch list) =
     match List.nth_opt bunches (count - 1) with
     | None -> Directed.Stop
     | Some (b : Taint.bunch) ->
+        (* Each entry's pins are one incremental transaction on the live
+           store: propagation reuses every narrowing performed by the path
+           constraints (and earlier pins) instead of re-propagating from
+           scratch, and a conflicting batch is rolled back to the exact
+           pre-entry state after the core has been extracted. *)
+        let scope = Solve.push_scope st.store in
         let ok = ref true in
         let nbytes = ref 0 and nargs = ref 0 in
         let add origin c =
@@ -313,9 +319,13 @@ let place_bunches (bunches : Taint.bunch list) =
             in
             Provenance.emit (Provenance.Conflict { seq = count; core = entries })
           end;
+          (* Core extraction above ran against the scoped store (pins
+             included); only now roll the failed batch back. *)
+          Solve.pop_scope st.store scope;
           Directed.Conflict
         end
         else begin
+          Solve.commit_scope st.store scope;
           if prov_on then
             Provenance.emit
               (Provenance.Bunch_pinned
@@ -353,6 +363,15 @@ type config = {
   inject : Faultinject.t;
       (** deterministic fault injector for the chaos harness;
           {!Faultinject.none} (default) costs one tag test per site. *)
+  spec_jobs : int;
+      (** speculative loop-retry width for P2: with [spec_jobs > 1] (and
+          provenance off — speculation is forced off while it is on, since
+          the provenance ledger and probe callbacks are serial), the
+          directed executor runs up to [spec_jobs - 1] predicted retry
+          attempts ahead on the shared pool.  Verdicts, stats and
+          deterministic metrics counters are identical to a serial run by
+          construction, so this is a speed knob, not a semantic one — it
+          is excluded from {!content_key}.  Default 1 (off). *)
 }
 
 let default_config =
@@ -367,6 +386,7 @@ let default_config =
     deadline_s = None;
     ladder = true;
     inject = Faultinject.none;
+    spec_jobs = 1;
   }
 
 (** [failure_report msg] is the minimal report for a failure that happened
@@ -408,10 +428,14 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
       provenance = None;
     }
   in
+  (* Canonical content digests, computed once per attempt: the ℓ cache and
+     both compilation lookups key off them. *)
+  let sdig = Compile.program_digest s in
+  let tdig = Compile.program_digest t in
   let ell =
     match ell with
     | Some l -> l
-    | None -> Clone.ell_names (Clone.shared_functions s t)
+    | None -> Clone.ell_names (Clone.shared_functions_cached ~sdig ~tdig s t)
   in
   if ell = [] then
     finish (Failure "no shared functions between S and T") ~ep:"" ~ell ~bunches:[] ~taint:None
@@ -419,7 +443,8 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
   else begin
     (* Preprocessing: crash S, pick ep from the backtrace. *)
     Faultinject.maybe_raise inject Faultinject.Deadline_expiry ~what:"preprocessing";
-    let s_run = Interp.run ~max_steps:config.max_steps ~deadline ~inject s ~input:poc in
+    let cs = Compile.get ~digest:sdig s in
+    let s_run = Compile.run ~max_steps:config.max_steps ~deadline ~inject cs ~input:poc in
     match s_run.outcome with
     | Interp.Exited _ ->
         finish (Failure "poc does not crash S") ~ep:"" ~ell ~bunches:[] ~taint:None ~symex:None
@@ -433,8 +458,8 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
             Deadline.check deadline ~what:"taint analysis";
             let taint_res =
               Trace.with_span Trace.Taint "extract" @@ fun () ->
-              Taint.extract ~mode:config.taint_mode ~granularity:config.taint_granularity s
-                ~poc ~ep
+              Taint.extract ~mode:config.taint_mode ~granularity:config.taint_granularity
+                ~compiled:cs s ~poc ~ep
             in
             let bunches = taint_res.bunches in
             if Provenance.is_on () then
@@ -513,10 +538,15 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
                                   (Provenance.Loop_retry { func; pc; granted; theta }));
                           }
                     in
+                    (* Speculation is gated off whenever a probe exists
+                       (provenance on): the pin ledger and probe callbacks
+                       assume serial attempts. *)
+                    let spec_jobs = if probe = None then config.spec_jobs else 1 in
                     let outcome, stats =
                       Trace.with_span Trace.Symex "directed" @@ fun () ->
                       Directed.run ~config:config.symex ~sym_file_size:config.sym_file_size
-                        ?probe ~deadline t_sym ~ep ~cfg ~on_ep:(place_bunches bunches)
+                        ?probe ~deadline ~spec_jobs t_sym ~ep ~cfg
+                        ~on_ep:(place_bunches bunches)
                     in
                     let symex = Some stats in
                     match outcome with
@@ -545,9 +575,10 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
                             Faultinject.maybe_raise inject Faultinject.Deadline_expiry
                               ~what:"verification";
                             let poc' = poc_of_model model ~length:st.max_read_off in
+                            let ct = Compile.get ~digest:tdig t in
                             let t_run =
                               Trace.with_span Trace.Verify "replay-poc'" @@ fun () ->
-                              Interp.run ~max_steps:config.max_steps ~deadline ~inject t
+                              Compile.run ~max_steps:config.max_steps ~deadline ~inject ct
                                 ~input:poc'
                             in
                             (match t_run.outcome with
@@ -567,7 +598,7 @@ let run_attempt ~(config : config) ~(deadline : Deadline.t) ?ell ~(s : Isa.progr
                                  reform). *)
                               let orig =
                                 Trace.with_span Trace.Verify "replay-poc" @@ fun () ->
-                                Interp.run ~max_steps:config.max_steps ~deadline ~inject t
+                                Compile.run ~max_steps:config.max_steps ~deadline ~inject ct
                                   ~input:poc
                               in
                               let ptype =
@@ -721,26 +752,18 @@ let job ?ell ?config ~label ~s ~t ~poc () =
 
 (* Canonical program rendering for hashing: functions in sorted-name order
    so the digest does not depend on hash-table internals (bucket layout,
-   [OCAMLRUNPARAM=R] randomization). *)
-let hash_program (p : Isa.program) =
-  let b = Buffer.create 4096 in
-  Buffer.add_string b p.pname;
-  Buffer.add_char b '\000';
-  Buffer.add_string b p.entry;
-  Buffer.add_char b '\000';
-  let fnames = Hashtbl.fold (fun k _ acc -> k :: acc) p.funcs [] |> List.sort compare in
-  List.iter
-    (fun fn ->
-      let f = Isa.func_exn p fn in
-      Buffer.add_string b (Marshal.to_string (f.Isa.fname, f.Isa.nparams, f.Isa.code) []))
-    fnames;
-  Buffer.add_string b (Marshal.to_string (p.ftable, p.data) []);
-  Digest.string (Buffer.contents b)
+   [OCAMLRUNPARAM=R] randomization).  The digest now lives in
+   {!Compile.program_digest} — the compilation cache, the ℓ cache and the
+   verdict cache all key off the same bytes. *)
+let hash_program (p : Isa.program) = Compile.program_digest p
 
 (* Every config field that can change a verdict.  [inject] is deliberately
    excluded: fault injection perturbs a run, not the pair's identity — a
    resumed chaos batch must treat the journaled verdict of a fault-afflicted
-   pair as settled, exactly as the uninterrupted run would have. *)
+   pair as settled, exactly as the uninterrupted run would have.
+   [spec_jobs] is excluded for the same reason from the other side: a
+   speculative run produces the identical verdict, so serial and
+   speculative invocations must share journal entries. *)
 let config_fingerprint (c : config) =
   Marshal.to_string
     ( c.taint_mode,

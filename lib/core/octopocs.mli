@@ -127,6 +127,13 @@ type config = {
   inject : Octo_util.Faultinject.t;
       (** deterministic fault injector for the chaos harness
           ({!Octo_util.Faultinject.none} by default) *)
+  spec_jobs : int;
+      (** speculative loop-retry width for P2 (default 1 = off).  With
+          [spec_jobs > 1] and provenance off, the directed executor runs
+          up to [spec_jobs - 1] predicted retry attempts ahead on the
+          shared pool; verdicts, stats and deterministic metrics counters
+          are identical to a serial run by construction, so the field is
+          excluded from {!content_key}. *)
 }
 
 val default_config : config

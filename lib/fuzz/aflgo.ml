@@ -68,6 +68,7 @@ let run ?(config = default_config) (prog : Isa.program) ~(target : string)
   let found = ref None in
   let queue : seed Queue.t = Queue.create () in
   let best = ref infinity in
+  let compiled = Compile.get prog in
   let execute input =
     incr execs;
     (* Collect the distance of every executed location to the target. *)
@@ -93,7 +94,7 @@ let run ?(config = default_config) (prog : Isa.program) ~(target : string)
               hooks.on_edge fname from_pc to_pc;
               Hashtbl.replace hit (Coverage.bucket_of ~fname ~from_pc ~to_pc) ()) }
       in
-      let result = Interp.run ~hooks ~max_steps:config.exec_max_steps prog ~input in
+      let result = Compile.run ~hooks ~max_steps:config.exec_max_steps compiled ~input in
       let fresh = ref 0 in
       Hashtbl.iter
         (fun b () ->

@@ -30,8 +30,13 @@ type run_info = {
 }
 
 (** [run t prog ~input] executes [prog] under coverage instrumentation,
-    updating the virgin map. *)
-let run ?(max_steps = 60_000) (t : t) (prog : Isa.program) ~(input : string) : run_info =
+    updating the virgin map.
+
+    [compiled] lets campaign loops (thousands of executions of one program)
+    skip the per-call content-digest lookup of the compilation cache; it
+    MUST be the compilation of [prog] ({!Compile.get}). *)
+let run ?(max_steps = 60_000) ?compiled (t : t) (prog : Isa.program) ~(input : string) :
+    run_info =
   let hit = Hashtbl.create 256 in
   let hooks =
     {
@@ -42,7 +47,8 @@ let run ?(max_steps = 60_000) (t : t) (prog : Isa.program) ~(input : string) : r
           Hashtbl.replace hit b ());
     }
   in
-  let result = Interp.run ~hooks ~max_steps prog ~input in
+  let compiled = match compiled with Some c -> c | None -> Compile.get prog in
+  let result = Compile.run ~hooks ~max_steps compiled ~input in
   let new_buckets = ref 0 in
   let path_hash = ref 0 in
   Hashtbl.iter

@@ -407,6 +407,54 @@ let add_checked s (c : Expr.cond) : add_result =
 let entails s c = eval_cond_iv s c
 
 (* ------------------------------------------------------------------ *)
+(* Cross-phase scopes.
+
+   [add_checked] is a one-constraint transaction; a scope is the same
+   trail/mark machinery stretched over an arbitrary sequence of [add]s —
+   the shape P3 bunch pinning needs.  Pins land on the live store one
+   [add] at a time (propagation is incremental, reusing every narrowing
+   performed by earlier phases), and when one of them conflicts the caller
+   can first interrogate the poisoned store (e.g. {!unsat_core} over
+   {!constraints} — the scoped constraints are ordinary constraints) and
+   then [pop_scope] back to the exact pre-scope state instead of
+   discarding the store.
+
+   Scopes nest with the existing transactional primitives: [add_checked]
+   and [solve] save and restore [trailing] themselves and undo to their
+   own marks, so calling them inside an open scope is safe. *)
+
+type scope = {
+  sc_mark : mark;            (* trail suffix to roll narrowings back to *)
+  sc_ncons : int;            (* constraint count to pop back to *)
+  sc_was_trailing : bool;    (* outer trail mode to restore *)
+}
+
+(** [push_scope s] opens a scope: every subsequent narrowing is recorded
+    on the trail until the matching [pop_scope]/[commit_scope]. *)
+let push_scope s : scope =
+  let sc = { sc_mark = s.trail; sc_ncons = s.ncons; sc_was_trailing = s.trailing } in
+  s.trailing <- true;
+  sc
+
+(** [pop_scope s sc] rolls back every narrowing and every constraint added
+    since [push_scope]: domains are restored from the trail, constraints
+    retracted newest-first (the LIFO discipline [pop_cons] requires).
+    Cost is proportional to the scope's own footprint, not the store's. *)
+let pop_scope s (sc : scope) =
+  undo_to s sc.sc_mark;
+  while s.ncons > sc.sc_ncons do
+    pop_cons s (s.ncons - 1)
+  done;
+  s.trailing <- sc.sc_was_trailing;
+  if not sc.sc_was_trailing then s.trail <- []
+
+(** [commit_scope s sc] keeps the scope's constraints and narrowings and
+    restores the outer trail mode — the success path of a pin batch. *)
+let commit_scope s (sc : scope) =
+  s.trailing <- sc.sc_was_trailing;
+  if not sc.sc_was_trailing then s.trail <- []
+
+(* ------------------------------------------------------------------ *)
 (* Model search. *)
 
 type model = (int, int) Hashtbl.t

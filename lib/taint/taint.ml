@@ -130,9 +130,13 @@ let on_access st (a : Interp.access) =
 (** [extract ?mode program ~poc ~ep] runs [program] on [poc] under the taint
     engine and returns the crash primitives.  The run normally ends in the
     crash that [poc] provokes; a clean exit yields [crash = None] (callers
-    treat that as "this poc does not witness the vulnerability"). *)
-let extract ?(mode = Context_aware) ?(granularity = Byte_level) (prog : Isa.program)
-    ~(poc : string) ~(ep : string) : result =
+    treat that as "this poc does not witness the vulnerability").
+
+    [compiled] lets the pipeline reuse an already-looked-up compilation of
+    [prog] ({!Octo_vm.Compile.get}), skipping the content-digest cache
+    lookup; it MUST be the compilation of [prog]. *)
+let extract ?(mode = Context_aware) ?(granularity = Byte_level) ?compiled
+    (prog : Isa.program) ~(poc : string) ~(ep : string) : result =
   let st =
     {
       taint = Hashtbl.create 1024;
@@ -196,7 +200,11 @@ let extract ?(mode = Context_aware) ?(granularity = Byte_level) (prog : Isa.prog
           if fname = st.ep then st.ep_depth <- max 0 (st.ep_depth - 1));
     }
   in
-  let run_result = Interp.run ~hooks prog ~input:poc in
+  let run_result =
+    match compiled with
+    | Some c -> Octo_vm.Compile.run ~hooks c ~input:poc
+    | None -> Interp.run ~hooks prog ~input:poc
+  in
   let crash = match run_result.outcome with Interp.Crashed c -> Some c | Interp.Exited _ -> None in
   let value_at off = if off >= 0 && off < String.length poc then Char.code poc.[off] else 0 in
   let bunch_of_set ~merged seq offs args anchor sites =

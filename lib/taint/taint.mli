@@ -61,6 +61,7 @@ type result = {
 val extract :
   ?mode:mode ->
   ?granularity:granularity ->
+  ?compiled:Octo_vm.Compile.compiled ->
   Isa.program ->
   poc:string ->
   ep:string ->

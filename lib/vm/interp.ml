@@ -6,7 +6,13 @@
     were read and written, with addresses fully resolved — exactly the
     [GetCurrentAsm] primitive of Algorithm 1.  Input-derived bytes entering
     memory (read/mmap syscalls) are reported with their file offsets, which is
-    how the taint engine seeds its specified memory area. *)
+    how the taint engine seeds its specified memory area.
+
+    Execution is delegated to {!Compile}: the program is lowered once into
+    direct-threaded closure arrays (cached by content digest) and {!run} is a
+    thin driver over the compiled form.  The original decode-per-step loop is
+    kept below as {!run_reference} — the executable specification the compiled
+    engine is differentially tested against (see [test/test_vm.ml]). *)
 
 open Isa
 module Deadline = Octo_util.Deadline
@@ -14,11 +20,11 @@ module Faultinject = Octo_util.Faultinject
 
 (** A taintable object: a register of a specific activation frame, or one
     byte of memory. *)
-type obj =
+type obj = Compile.obj =
   | OReg of int * reg   (** (frame id, register) *)
   | OMem of int         (** byte address *)
 
-type access = {
+type access = Compile.access = {
   reads : obj list;
   writes : obj list;
 }
@@ -26,7 +32,7 @@ type access = {
     all read objects.  Instructions that move several independent values
     (calls, returns) emit one event per moved value. *)
 
-type hooks = {
+type hooks = Compile.hooks = {
   on_access : access -> unit;
   on_input_bytes : addr:int -> file_off:int -> len:int -> unit;
       (** [len] input-file bytes starting at [file_off] were copied to
@@ -42,16 +48,7 @@ type hooks = {
           indicator without re-implementing the file table *)
 }
 
-let no_hooks =
-  {
-    on_access = (fun _ -> ());
-    on_input_bytes = (fun ~addr:_ ~file_off:_ ~len:_ -> ());
-    on_call = (fun ~fname:_ ~frame_id:_ ~args:_ -> ());
-    on_ret = (fun _ -> ());
-    on_edge = (fun _ _ _ -> ());
-    on_step = (fun _ _ -> ());
-    on_seek = (fun ~fd:_ ~pos:_ -> ());
-  }
+let no_hooks = Compile.no_hooks
 
 type frame = {
   func : func;
@@ -61,26 +58,26 @@ type frame = {
   frame_id : int;
 }
 
-type crash = {
+type crash = Compile.crash = {
   fault : Mem.fault;
   crash_func : string;
   crash_pc : int;
   backtrace : string list;  (** outermost (entry) first, crash site last *)
 }
 
-type outcome =
+type outcome = Compile.outcome =
   | Exited of int
   | Crashed of crash
 
-type result = {
+type result = Compile.result = {
   outcome : outcome;
   outputs : int list;   (** values passed to [Emit], in order *)
   steps : int;
 }
 
-exception Exit_program of int
+exception Exit_program = Compile.Exit_program
 
-let default_max_steps = 400_000
+let default_max_steps = Compile.default_max_steps
 
 let pp_outcome ppf = function
   | Exited c -> Fmt.pf ppf "exited(%d)" c
@@ -90,7 +87,7 @@ let pp_outcome ppf = function
 
 (* Deadline polling granularity: one monotonic-clock read every this many
    steps.  Power of two so the gate is a single [land]. *)
-let deadline_stride = 2048
+let deadline_stride = Compile.deadline_stride
 
 (** [run ?hooks ?max_steps ?deadline ?inject program ~input] executes
     [program] on the input file [input].  Termination is via [Exit], falling
@@ -102,9 +99,23 @@ let deadline_stride = 2048
     (cooperative cancellation — a wall-clock budget is not a crash of the
     program under test).  [inject] may fire a {!Faultinject.Vm_syscall}
     fault at any executed syscall; the resulting
-    {!Octo_util.Faultinject.Injected} also propagates. *)
-let run ?(hooks = no_hooks) ?(max_steps = default_max_steps) ?(deadline = Deadline.none)
-    ?(inject = Faultinject.none) (prog : program) ~(input : string) : result =
+    {!Octo_util.Faultinject.Injected} also propagates.
+
+    The program is compiled to threaded code on first use and the
+    compilation is reused across runs ({!Compile.get}); callers that
+    execute the same program many times back-to-back (fuzzers) can hoist
+    the lookup with {!Compile.get} + {!Compile.run} themselves. *)
+let run ?hooks ?max_steps ?deadline ?inject (prog : program) ~(input : string) : result =
+  Compile.run ?hooks ?max_steps ?deadline ?inject (Compile.get prog) ~input
+
+(** [run_reference] is the original decode-per-step interpreter, byte-line
+    compatible with {!run}: same outcomes, crash sites, step counts, hook
+    streams, outputs, fault-injection and deadline behavior.  It exists as
+    the executable specification for differential testing of the compiled
+    engine; production callers use {!run}. *)
+let run_reference ?(hooks = no_hooks) ?(max_steps = default_max_steps)
+    ?(deadline = Deadline.none) ?(inject = Faultinject.none) (prog : program)
+    ~(input : string) : result =
   let mem = Mem.create () in
   Mem.load_rodata mem prog.data;
   let file = Vfile.create input in

@@ -39,12 +39,17 @@ let fault_to_string f = Fmt.str "%a" pp_fault f
 type t = {
   mutable regions : region list;
   mutable brk : int;   (* bump pointer for heap allocations *)
+  mutable last : region option;
+      (* most recently hit region: programs overwhelmingly touch the same
+         region in consecutive accesses, so this short-circuits the linear
+         region scan.  Regions are disjoint and never freed, so a stale
+         [last] can only miss, never alias. *)
 }
 
 (* Heap starts well above the data section so data growth never collides. *)
 let heap_base = 0x100000
 
-let create () = { regions = []; brk = heap_base }
+let create () = { regions = []; brk = heap_base; last = None }
 
 (** [load_rodata t data] installs the assembled program's data section. *)
 let load_rodata t (data : (string * int * string) list) =
@@ -75,7 +80,14 @@ let map_bytes t s =
   base
 
 let find_region t addr =
-  List.find_opt (fun r -> addr >= r.base && addr < r.base + r.size) t.regions
+  match t.last with
+  | Some r when addr >= r.base && addr - r.base < r.size -> Some r
+  | _ -> (
+      match List.find_opt (fun r -> addr >= r.base && addr < r.base + r.size) t.regions with
+      | Some _ as hit ->
+          t.last <- hit;
+          hit
+      | None -> None)
 
 (** [read8 t addr] loads one byte, faulting on invalid addresses. *)
 let read8 t addr =

@@ -287,6 +287,76 @@ let solve_restores_domains () =
   check (Alcotest.pair Alcotest.int Alcotest.int) "dom 0 untouched" d0 (Solve.dom s 0);
   check (Alcotest.pair Alcotest.int Alcotest.int) "dom 1 untouched" d1 (Solve.dom s 1)
 
+(* Cross-phase scopes: the multi-add generalization of add_checked used by
+   P3 bunch pinning. *)
+let scope_pop_restores_store () =
+  let s = Solve.create () in
+  ignore (add { Expr.rel = Le; lhs = Expr.byte 0; rhs = Expr.const 100 } s);
+  let d0 = Solve.dom s 0 and n0 = List.length (Solve.constraints s) in
+  let sc = Solve.push_scope s in
+  ignore (add { Expr.rel = Eq; lhs = Expr.byte 0; rhs = Expr.const 65 } s);
+  ignore (add { Expr.rel = Le; lhs = Expr.byte 1; rhs = Expr.const 9 } s);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "pinned inside scope" (65, 65)
+    (Solve.dom s 0);
+  Solve.pop_scope s sc;
+  check (Alcotest.pair Alcotest.int Alcotest.int) "dom 0 restored" d0 (Solve.dom s 0);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "dom 1 restored" (0, 255) (Solve.dom s 1);
+  check Alcotest.int "constraints retracted" n0 (List.length (Solve.constraints s));
+  (* The rolled-back store must accept what the scope made unsat. *)
+  match add { Expr.rel = Eq; lhs = Expr.byte 0; rhs = Expr.const 99 } s with
+  | Solve.Ok -> ()
+  | Solve.Unsat -> Alcotest.fail "popped scope must not leak narrowings"
+
+let scope_core_then_pop () =
+  (* The P3 conflict path: interrogate the poisoned scoped store for an
+     unsat core, then pop back to a usable store. *)
+  let s = Solve.create () in
+  ignore (add { Expr.rel = Le; lhs = Expr.byte 0; rhs = Expr.const 10 } s);
+  let sc = Solve.push_scope s in
+  (match add { Expr.rel = Gt; lhs = Expr.byte 0; rhs = Expr.const 10 } s with
+  | Solve.Unsat -> ()
+  | Solve.Ok -> Alcotest.fail "pin must conflict");
+  let core = Solve.unsat_core (Solve.constraints s) in
+  check Alcotest.bool "core is non-empty" true (core <> []);
+  Solve.pop_scope s sc;
+  check Alcotest.int "only the base constraint remains" 1
+    (List.length (Solve.constraints s));
+  match Solve.solve s with
+  | Solve.Sat _ -> ()
+  | _ -> Alcotest.fail "store must be sat again after pop"
+
+let scope_commit_keeps_pins () =
+  let s = Solve.create () in
+  let sc = Solve.push_scope s in
+  ignore (add { Expr.rel = Eq; lhs = Expr.byte 0; rhs = Expr.const 65 } s);
+  Solve.commit_scope s sc;
+  check (Alcotest.pair Alcotest.int Alcotest.int) "pin survives commit" (65, 65)
+    (Solve.dom s 0);
+  check Alcotest.int "constraint survives commit" 1 (List.length (Solve.constraints s));
+  (* Committed scopes must leave the store in its default untrailed mode:
+     a later add's narrowing must be permanent. *)
+  ignore (add { Expr.rel = Le; lhs = Expr.byte 1; rhs = Expr.const 3 } s);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "post-commit add permanent" (0, 3)
+    (Solve.dom s 1)
+
+let scope_nests_with_transactions () =
+  (* add_checked and solve save/restore their own state; running them inside
+     an open scope must not disturb the scope's rollback point. *)
+  let s = Solve.create () in
+  ignore (add { Expr.rel = Le; lhs = Expr.byte 0; rhs = Expr.const 50 } s);
+  let sc = Solve.push_scope s in
+  ignore (add { Expr.rel = Ge; lhs = Expr.byte 0; rhs = Expr.const 10 } s);
+  (match Solve.add_checked s { Expr.rel = Gt; lhs = Expr.byte 0; rhs = Expr.const 50 } with
+  | Solve.Unsat -> ()
+  | Solve.Ok -> Alcotest.fail "inner transaction must be unsat");
+  check (Alcotest.pair Alcotest.int Alcotest.int) "scope narrowing intact" (10, 50)
+    (Solve.dom s 0);
+  (match Solve.solve s with Solve.Sat _ -> () | _ -> Alcotest.fail "expected sat");
+  Solve.pop_scope s sc;
+  check (Alcotest.pair Alcotest.int Alcotest.int) "outer domain restored" (0, 50)
+    (Solve.dom s 0);
+  check Alcotest.int "outer constraints only" 1 (List.length (Solve.constraints s))
+
 (* Regression: the indexed-store rewrite must return the exact models the
    assoc-list engine produced on these seed constraint sets (captured from
    commit 8c76129).  Identical search order (ascending values, smallest
@@ -412,6 +482,10 @@ let suite =
     tc "narrow: and-0xff mask pins byte" and_ff_mask_narrows;
     tc "narrow: and-0xff wide operand sound" and_ff_mask_wide_operand_sound;
     tc "store: add_checked restores on unsat" add_checked_restores_store;
+    tc "scope: pop restores store" scope_pop_restores_store;
+    tc "scope: core extraction then pop" scope_core_then_pop;
+    tc "scope: commit keeps pins" scope_commit_keeps_pins;
+    tc "scope: nests with transactions" scope_nests_with_transactions;
     tc "solve: domains restored after search" solve_restores_domains;
     tc "solve: seed model regression" seed_model_regression;
     tc "ival: and-mask bounds" ival_masking;

@@ -417,8 +417,176 @@ let hooks_edges_on_branch () =
   ignore (Interp.run ~hooks p ~input:"");
   check Alcotest.bool "edge fired" true (!edges >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* Differential testing: compiled engine vs the reference interpreter.
+
+   [Interp.run] executes direct-threaded closures ({!Compile}); the original
+   decode-per-step loop survives as [Interp.run_reference], the executable
+   specification.  Random structured programs are run through both engines
+   and everything observable must agree: outcome (including crash site and
+   backtrace), outputs, step count, every instrumentation hook stream, and
+   fault-injection behavior. *)
+
+(* A statement AST that lowers to assemblable, terminating MiniVM code.
+   Loops are counter-bounded (register 8, never nested), yet the programs
+   still exercise crash paths: wild stores past the 16-byte buffer and
+   divisions by possibly-zero data registers. *)
+type gstmt =
+  | G_arith of int * int * int * int  (* binop index, dst, src, src *)
+  | G_read of int                     (* next input byte -> data reg *)
+  | G_emit of int
+  | G_if of relop * int * int * gstmt list * gstmt list
+  | G_loop of int * gstmt list        (* fixed iteration count *)
+  | G_store of int * int              (* mem8[buf+off] <- reg; off may be oob *)
+  | G_load of int * int
+  | G_call of int                     (* d <- h(d): exercises frames *)
+
+let all_binops = [| Add; Sub; Mul; Div; Mod; And; Or; Xor; Shl; Shr |]
+
+(* Data registers are r4-r7; r1 = fd, r2 = buffer, r3 = read status, r8 =
+   loop counter. *)
+let dreg i = 4 + i
+
+let lower stmts =
+  let lbl = ref 0 in
+  let fresh () = incr lbl; Printf.sprintf "L%d" !lbl in
+  let rec stmt = function
+    | G_arith (o, d, a, b) ->
+        [ I (Bin (all_binops.(o), dreg d, Reg (dreg a), Reg (dreg b))) ]
+    | G_read d ->
+        [ I (Sys (Read (3, Reg 1, Reg 2, Imm 1))); I (Load8 (dreg d, Reg 2, Imm 0)) ]
+    | G_emit d -> [ I (Sys (Emit (Reg (dreg d)))) ]
+    | G_if (r, a, b, th, el) ->
+        let lt = fresh () and le = fresh () in
+        [ I (Jif (r, Reg (dreg a), Reg (dreg b), lt)) ]
+        @ List.concat_map stmt el
+        @ [ I (Jmp le); L lt ]
+        @ List.concat_map stmt th
+        @ [ L le ]
+    | G_loop (n, body) ->
+        let head = fresh () and stop = fresh () in
+        [ I (Mov (8, Imm n)); L head; I (Jif (Eq, Reg 8, Imm 0, stop)) ]
+        @ List.concat_map stmt body
+        @ [ I (Bin (Sub, 8, Reg 8, Imm 1)); I (Jmp head); L stop ]
+    | G_store (d, off) -> [ I (Store8 (Reg 2, Imm off, Reg (dreg d))) ]
+    | G_load (d, off) -> [ I (Load8 (dreg d, Reg 2, Imm off)) ]
+    | G_call d -> [ I (Call ("h", [ Reg (dreg d) ], Some (dreg d))) ]
+  in
+  assemble ~name:"t" ~entry:"main"
+    [
+      fn "main" ~params:0
+        ([ I (Sys (Open 1)); I (Sys (Alloc (2, Imm 16))) ]
+        @ List.init 4 (fun i -> I (Mov (dreg i, Imm (i + 1))))
+        @ List.concat_map stmt stmts
+        @ [ I (Sys (Emit (Reg 4))); I Halt ]);
+      fn "h" ~params:1
+        [
+          I (Bin (Mul, 2, Reg 1, Imm 2));
+          I (Bin (Add, 1, Reg 2, Imm 1));
+          I (Sys (Emit (Reg 1)));
+          I (Ret (Reg 1));
+        ];
+    ]
+
+let gen_stmts =
+  let open QCheck.Gen in
+  let reg = int_range 0 3 in
+  let base =
+    frequency
+      [
+        (3, map3 (fun o d (a, b) -> G_arith (o, d, a, b)) (int_range 0 9) reg (pair reg reg));
+        (2, map (fun d -> G_read d) reg);
+        (2, map (fun d -> G_emit d) reg);
+        (1, map (fun d -> G_call d) reg);
+        (1, map2 (fun d off -> G_store (d, off)) reg (int_range 0 20));
+        (1, map2 (fun d off -> G_load (d, off)) reg (int_range 0 20));
+      ]
+  in
+  let block = list_size (int_range 1 4) base in
+  let stmt =
+    frequency
+      [
+        (6, base);
+        ( 1,
+          map3
+            (fun r (a, b) (t, e) -> G_if (r, a, b, t, e))
+            (oneofl [ Eq; Ne; Lt; Le; Gt; Ge ])
+            (pair reg reg) (pair block block) );
+        (1, map2 (fun n body -> G_loop (n, body)) (int_range 1 4) block);
+      ]
+  in
+  list_size (int_range 1 8) stmt
+
+let arb_diff =
+  QCheck.make
+    ~print:(fun (stmts, input, seed) ->
+      Printf.sprintf "%d stmts, input=%S, seed=%d" (List.length stmts) input seed)
+    QCheck.Gen.(
+      triple gen_stmts
+        (string_size ~gen:printable (int_range 0 12))
+        (int_bound 10_000))
+
+(* Serialize every hook event into one stream; the two engines must produce
+   identical bytes. *)
+let record_hooks buf =
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let str_obj = function
+    | Interp.OReg (f, r) -> Printf.sprintf "R%d.%d" f r
+    | Interp.OMem a -> Printf.sprintf "M%d" a
+  in
+  let objs os = String.concat ";" (List.map str_obj os) in
+  {
+    Interp.on_access = (fun a -> add "A[%s]<-[%s]" (objs a.Interp.writes) (objs a.Interp.reads));
+    on_input_bytes = (fun ~addr ~file_off ~len -> add "I%d@%d+%d" addr file_off len);
+    on_call =
+      (fun ~fname ~frame_id ~args ->
+        add "C%s#%d(%s)" fname frame_id (String.concat "," (List.map string_of_int args)));
+    on_ret = (fun f -> add "r%s" f);
+    on_edge = (fun f a b -> add "E%s:%d->%d" f a b);
+    on_step = (fun f pc -> add "S%s:%d" f pc);
+    on_seek = (fun ~fd ~pos -> add "K%d@%d" fd pos);
+  }
+
+let engines_agree (stmts, input, _seed) =
+  let p = lower stmts in
+  let b1 = Buffer.create 256 and b2 = Buffer.create 256 in
+  let r1 = Interp.run ~hooks:(record_hooks b1) p ~input in
+  let r2 = Interp.run_reference ~hooks:(record_hooks b2) p ~input in
+  r1 = r2 && String.equal (Buffer.contents b1) (Buffer.contents b2)
+
+let engines_agree_under_injection (stmts, input, seed) =
+  (* Each engine gets its own injector built from the same seed: the draws
+     happen once per executed syscall, so an Injected fault must fire at
+     the same point in both engines (or in neither). *)
+  let p = lower stmts in
+  let run engine =
+    let inject = Octo_util.Faultinject.create ~rate:0.2 ~seed () in
+    match engine ~inject p ~input with
+    | (r : Interp.result) -> Ok r
+    | exception Octo_util.Faultinject.Injected m -> Error m
+  in
+  run (fun ~inject p ~input -> Interp.run ~inject p ~input)
+  = run (fun ~inject p ~input -> Interp.run_reference ~inject p ~input)
+
+let compile_cache_no_stale_closures () =
+  (* Two programs with identical shape but different bodies must compile to
+     different digests; a digest-keyed cache can therefore never replay the
+     old closures for the mutated program. *)
+  let mk k = prog [ I (Sys (Emit (Imm k))); I Halt ] in
+  let p1 = mk 1 and p2 = mk 2 in
+  check Alcotest.bool "digests differ" true
+    (Compile.program_digest p1 <> Compile.program_digest p2);
+  check (Alcotest.list Alcotest.int) "p1 outputs" [ 1 ] (Interp.run p1 ~input:"").outputs;
+  check (Alcotest.list Alcotest.int) "mutated outputs" [ 2 ] (Interp.run p2 ~input:"").outputs;
+  check (Alcotest.list Alcotest.int) "p1 unchanged after p2" [ 1 ]
+    (Interp.run p1 ~input:"").outputs
+
 let qcheck_tests =
   [
+    QCheck.Test.make ~count:300 ~name:"compiled engine ≡ reference interpreter" arb_diff
+      engines_agree;
+    QCheck.Test.make ~count:150 ~name:"compiled ≡ reference under fault injection" arb_diff
+      engines_agree_under_injection;
     QCheck.Test.make ~name:"binop result always fits 32 bits"
       QCheck.(triple (int_bound 9) int int)
       (fun (opi, a, b) ->
@@ -480,5 +648,6 @@ let suite =
     tc "hooks: access dataflow" hooks_access_dataflow;
     tc "hooks: call arguments" hooks_call_args;
     tc "hooks: branch edges" hooks_edges_on_branch;
+    tc "compile: cache keyed by content digest" compile_cache_no_stale_closures;
   ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_tests
