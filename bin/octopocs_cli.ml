@@ -32,6 +32,7 @@
 
 open Cmdliner
 module Registry = Octo_targets.Registry
+module Source = Octo_targets.Source
 module B = Octo_util.Bytes_util
 module Faultinject = Octo_util.Faultinject
 module Journal = Octo_util.Journal
@@ -52,6 +53,15 @@ let config_for ?(dynamic = false) ?(spec = 1) ~deadline ~chaos_seed idx =
   in
   { Octopocs.default_config with
     dynamic_cfg = dynamic; deadline_s = deadline; inject; spec_jobs = spec }
+
+(* Speculation is silently forced off by the pipeline while provenance
+   collection is on (the evidence log must match a serial run); silently is
+   wrong for a user who typed both flags, so say it once, on stderr. *)
+let warn_spec_provenance ~spec ~provenance =
+  if spec > 1 && provenance then
+    Format.eprintf
+      "octopocs: warning: speculation disabled under --provenance (--spec-jobs %d ignored)@."
+      spec
 
 (* A pair index from the command line is untrusted input: out-of-range or
    negative values get a one-line structured error and exit 2, never an
@@ -198,6 +208,7 @@ let verify_cmd =
   let idx = Arg.(required & pos 0 (some int) None & info [] ~docv:"IDX") in
   Cmd.v (Cmd.info "verify" ~doc:"Verify one Table II pair")
     Term.(const (fun dynamic deadline chaos_seed trace metrics provenance spec idx ->
+              warn_spec_provenance ~spec ~provenance;
               with_case idx (fun c ->
                   with_observability ~provenance ~trace ~metrics (fun () ->
                       verdict_exit (run_one ~dynamic ?deadline ?chaos_seed ~spec c))))
@@ -222,10 +233,275 @@ type batch_outcome = Fresh of Octopocs.report | Cached of Octopocs.report
 
 let report_of = function Fresh r | Cached r -> r
 
+(* ------------------------------------------------------------------ *)
+(* Streaming corpus verification: pull pairs one at a time from a
+   {!Source}, verify under a bounded in-flight window, journal each
+   verdict into the shard its content key routes to, and quarantine pairs
+   that exhaust the retry budget instead of failing the batch.  Peak
+   memory is bounded by the window — the corpus is never materialised. *)
+
+(* Label-keyed injector derivation: corpus labels are strings, so the
+   per-pair fault stream comes from an FNV mix of the label, independent
+   of pull order and of which worker runs the pair.  --poison arms only
+   the worker-crash site (the poison-pair drill); --chaos-seed alone
+   keeps the all-sites schedule of the registry path. *)
+let config_for_label ?(spec = 1) ~deadline ~chaos_seed ~poison label =
+  let inject =
+    match (poison, chaos_seed) with
+    | Some p, _ when p > 0.0 ->
+        let seed = Option.value chaos_seed ~default:0xC0FFEE in
+        Faultinject.create
+          ~seed:(Faultinject.seed_for ~seed label)
+          ~rate:0.0
+          ~site_rates:[ (Faultinject.Worker_crash, p) ]
+          ()
+    | _, Some seed -> Faultinject.create ~seed:(Faultinject.seed_for ~seed label) ()
+    | _, None -> Faultinject.none
+  in
+  { Octopocs.default_config with deadline_s = deadline; inject; spec_jobs = spec }
+
+type corpus_journal =
+  | No_journal
+  | Single of Journal.writer
+  | Dir of Journal.Sharded.w
+
+let quarantine_journal_path ~journal_path ~shards ~quarantine_path =
+  match quarantine_path with
+  | Some p -> Some p
+  | None -> (
+      (* A sharded journal directory gets a quarantine journal by default:
+         the directory is the batch's durable state, and a quarantined
+         pair is part of that state. *)
+      match journal_path with
+      | Some dir when shards > 1 -> Some (Filename.concat dir "quarantine.jrnl")
+      | _ -> None)
+
+let run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~journal_path ~resume ~shards
+    ~quarantine_path ~window ~poison ~spec ~metrics_on () =
+  match Source.of_spec corpus with
+  | Error msg -> structured_error "%s" msg
+  | Ok src ->
+      let m0 = Metrics.aggregate () in
+      let t0 = Unix.gettimeofday () in
+      let config_of label = config_for_label ~spec ~deadline ~chaos_seed ~poison label in
+      let qpath = quarantine_journal_path ~journal_path ~shards ~quarantine_path in
+      (* Journal setup: a file for --shards 1, a shard directory otherwise.
+         Fresh runs refuse to clobber either form. *)
+      let journal_setup =
+        match journal_path with
+        | None -> Ok (No_journal, [])
+        | Some path when shards <= 1 ->
+            if resume then begin
+              let w, records = Journal.open_resume ~path () in
+              Ok (Single w, List.filter_map Octopocs.decode_result records)
+            end
+            else if Sys.file_exists path then
+              Error
+                (structured_error
+                   "journal %s already exists; pass --resume to continue it or remove it first"
+                   path)
+            else Ok (Single (Journal.create ~path ()), [])
+        | Some dir -> (
+            if resume then
+              match Journal.Sharded.open_resume ~dir ~shards () with
+              | w, recovered ->
+                  let replayed =
+                    Array.to_list recovered |> List.concat
+                    |> List.filter_map Octopocs.decode_result
+                  in
+                  Ok (Dir w, replayed)
+              | exception Failure msg -> Error (structured_error "%s" msg)
+            else if Journal.Sharded.exists dir then
+              Error
+                (structured_error
+                   "journal %s already exists; pass --resume to continue it or remove it first"
+                   dir)
+            else Ok (Dir (Journal.Sharded.create ~dir ~shards ()), []))
+      in
+      match journal_setup with
+      | Error code -> code
+      | Ok (jw, replayed) -> (
+          let close_jw () =
+            match jw with
+            | No_journal -> ()
+            | Single w -> Journal.close w
+            | Dir w -> Journal.Sharded.close w
+          in
+          (* Quarantined labels from a previous run are set aside, not
+             re-run: their fault schedule is deterministic, so a retry
+             would only quarantine them again. *)
+          let quarantined_prior : (string, Octopocs.quarantine) Hashtbl.t =
+            Hashtbl.create 7
+          in
+          let qsetup =
+            match qpath with
+            | None -> Ok None
+            | Some p when resume ->
+                let w, records = Journal.open_resume ~path:p () in
+                List.iter
+                  (fun payload ->
+                    match Octopocs.decode_quarantine payload with
+                    | Some q -> Hashtbl.replace quarantined_prior q.Octopocs.qlabel q
+                    | None -> ())
+                  records;
+                Ok (Some w)
+            | Some p when Sys.file_exists p ->
+                Error
+                  (structured_error
+                     "quarantine journal %s already exists; pass --resume to continue it \
+                      or remove it first"
+                     p)
+            | Some p -> Ok (Some (Journal.create ~path:p ()))
+          in
+          match qsetup with
+          | Error code ->
+              close_jw ();
+              code
+          | Ok qw ->
+          (* Last journaled verdict per label wins, as in the registry
+             path. *)
+          let settled_prior : (string, string * Octopocs.report) Hashtbl.t =
+            Hashtbl.create (List.length replayed)
+          in
+          List.iter (fun (l, k, r) -> Hashtbl.replace settled_prior l (k, r)) replayed;
+          (* Shared tallies, updated from worker context: verdict counts,
+             expected-class matches, worst exit code.  The in-flight table
+             carries (key, expected) from pull to settle and never exceeds
+             the window. *)
+          let lock = Mutex.create () in
+          let triggered = ref 0
+          and not_trig = ref 0
+          and failures = ref 0
+          and crashed = ref 0
+          and ncached = ref 0
+          and nquar_prior = ref 0
+          and known = ref 0
+          and matched = ref 0
+          and worst = ref 0 in
+          let inflight : (string, string * string option) Hashtbl.t =
+            Hashtbl.create 31
+          in
+          let tally ?expected (r : Octopocs.report) =
+            Mutex.lock lock;
+            (match r.verdict with
+            | Octopocs.Triggered _ -> incr triggered
+            | Octopocs.Not_triggerable _ -> incr not_trig
+            | Octopocs.Failure _ -> if crashed_verdict r then incr crashed else incr failures);
+            worst := max !worst (verdict_exit r);
+            (match expected with
+            | Some want ->
+                incr known;
+                if Octopocs.verdict_class r.verdict = want then incr matched
+            | None -> ());
+            Mutex.unlock lock
+          in
+          let take_inflight label =
+            Mutex.lock lock;
+            let v = Hashtbl.find_opt inflight label in
+            Hashtbl.remove inflight label;
+            Mutex.unlock lock;
+            match v with Some (key, expected) -> (key, expected) | None -> ("", None)
+          in
+          let on_settle j (r : Octopocs.report) =
+            if settle_delay_s > 0. then Unix.sleepf settle_delay_s;
+            let label = Octopocs.job_label j in
+            let key, expected = take_inflight label in
+            (match jw with
+            | No_journal -> ()
+            | Single w -> Journal.append w (Octopocs.encode_result ~label ~key r)
+            | Dir w -> Journal.Sharded.append w ~key (Octopocs.encode_result ~label ~key r));
+            tally ?expected r
+          in
+          let on_quarantine (q : Octopocs.quarantine) =
+            ignore (take_inflight q.Octopocs.qlabel);
+            (match qw with
+            | Some w -> Journal.append w (Octopocs.encode_quarantine q)
+            | None -> ());
+            Logs.warn (fun m ->
+                m "quarantined %s after %d attempt(s): %s: %s" q.Octopocs.qlabel
+                  q.Octopocs.qattempts q.Octopocs.qreason q.Octopocs.qmessage)
+          in
+          (* The pull thunk: skip pairs already settled (same content key)
+             or already quarantined, admit the rest.  Tail-recursive — a
+             fully-cached resume walks the whole corpus without growing
+             the stack or the heap. *)
+          let rec next_job () =
+            match Source.next src with
+            | None -> None
+            | Some p ->
+                let config = config_of p.Source.plabel in
+                let key =
+                  Octopocs.content_key ~config ?ell:p.Source.pell ~s:p.Source.ps
+                    ~t:p.Source.pt ~poc:p.Source.ppoc ()
+                in
+                if Hashtbl.mem quarantined_prior p.Source.plabel then begin
+                  Mutex.lock lock;
+                  incr nquar_prior;
+                  Mutex.unlock lock;
+                  next_job ()
+                end
+                else (
+                  match Hashtbl.find_opt settled_prior p.Source.plabel with
+                  | Some (k, r) when k = key ->
+                      Mutex.lock lock;
+                      incr ncached;
+                      Mutex.unlock lock;
+                      tally ?expected:p.Source.pexpected r;
+                      next_job ()
+                  | _ ->
+                      Mutex.lock lock;
+                      Hashtbl.replace inflight p.Source.plabel (key, p.Source.pexpected);
+                      Mutex.unlock lock;
+                      Some
+                        (Octopocs.job ~config ?ell:p.Source.pell ~label:p.Source.plabel
+                           ~s:p.Source.ps ~t:p.Source.pt ~poc:p.Source.ppoc ()))
+          in
+          let st =
+            Octopocs.run_stream ~jobs ~retries ?window ~on_settle ~on_quarantine next_job
+          in
+          close_jw ();
+          (match qw with Some w -> Journal.close w | None -> ());
+          let elapsed = Unix.gettimeofday () -. t0 in
+          say "corpus  : %s  pulled=%d settled=%d quarantined=%d cached=%d%s peak-in-flight=%d"
+            (Source.id src) st.Octopocs.st_pulled st.Octopocs.st_settled
+            st.Octopocs.st_quarantined !ncached
+            (if !nquar_prior > 0 then Printf.sprintf " quarantined-prior=%d" !nquar_prior
+             else "")
+            st.Octopocs.st_peak_in_flight;
+          say "summary : %d triggered / %d not-triggerable / %d failure / %d crashed (%d cached, %d quarantined)"
+            !triggered !not_trig !failures !crashed !ncached
+            (st.Octopocs.st_quarantined + !nquar_prior);
+          if !known > 0 then say "expected: %d/%d classes match" !matched !known;
+          say "%.3fs wall, %d worker domain(s)" elapsed (Octo_util.Pool.effective_jobs jobs);
+          if metrics_on then begin
+            let batch = Metrics.diff (Metrics.aggregate ()) m0 in
+            say "pool    : retries=%d stalls=%d backoffs=%d"
+              (Metrics.counter_value batch Metrics.Pool_retries)
+              (Metrics.counter_value batch Metrics.Pool_stalls)
+              (Metrics.counter_value batch Metrics.Pool_backoffs)
+          end;
+          !worst)
+
 let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall_grace trace
-    metrics_on provenance_on spec =
+    metrics_on provenance_on spec corpus shards quarantine_path window poison =
+  warn_spec_provenance ~spec ~provenance:provenance_on;
+  let streaming =
+    corpus <> "registry" || shards > 1 || quarantine_path <> None || window <> None
+    || poison <> None
+  in
   if resume && journal_path = None then
     structured_error "--resume requires --journal PATH"
+  else if shards < 1 then structured_error "--shards must be >= 1"
+  else if shards > 1 && journal_path = None then
+    structured_error "--shards requires --journal DIR"
+  else if streaming && fail_fast then
+    structured_error "--fail-fast is not supported in streaming corpus mode"
+  else if streaming && stall_grace <> None then
+    structured_error "--stall-grace is not supported in streaming corpus mode"
+  else if streaming then
+    with_observability ~provenance:provenance_on ~trace ~metrics:metrics_on (fun () ->
+        run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~journal_path ~resume
+          ~shards ~quarantine_path ~window ~poison ~spec ~metrics_on ())
   else begin
     with_observability ~provenance:provenance_on ~trace ~metrics:metrics_on @@ fun () ->
     (* Baseline for the batch's pool-level counters: metrics cells live for
@@ -371,9 +647,10 @@ let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall
             (List.length snaps);
           say "phases  : %s" (Fmt.str "%a" Metrics.pp_phases tot);
           let batch = Metrics.diff (Metrics.aggregate ()) m0 in
-          say "pool    : retries=%d stalls=%d"
+          say "pool    : retries=%d stalls=%d backoffs=%d"
             (Metrics.counter_value batch Metrics.Pool_retries)
             (Metrics.counter_value batch Metrics.Pool_stalls)
+            (Metrics.counter_value batch Metrics.Pool_backoffs)
         end;
         List.fold_left (fun acc (_, o) -> max acc (verdict_exit (report_of o))) 0 results
   end
@@ -418,8 +695,44 @@ let verify_all_cmd =
                    above --deadline: the deadline bounds a healthy pair, the watchdog \
                    catches wedged ones.")
   in
+  let corpus =
+    Arg.(value & opt string "registry"
+         & info [ "corpus" ] ~docv:"SPEC"
+             ~doc:"Pair source: $(b,registry) (the 15 Table II pairs, default), \
+                   $(b,gen:COUNT[:SEED]) (the deterministic generated corpus; seed \
+                   defaults to 42), or a corpus directory of pair manifests (see the \
+                   $(b,corpus) subcommand).  Non-registry sources stream: pairs are \
+                   pulled on demand and never materialised as a list.")
+  in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Split the journal into $(docv) shard files under --journal DIR \
+                   (content-keyed routing).  Each shard recovers its torn tail \
+                   independently on --resume.  Default 1: a single journal file.")
+  in
+  let quarantine =
+    Arg.(value & opt (some string) None
+         & info [ "quarantine" ] ~docv:"PATH"
+             ~doc:"Quarantine journal: pairs that crash or stall past --retries are \
+                   recorded here (reason, message, backtrace, attempts) and set \
+                   aside instead of failing the batch.  Defaults to \
+                   $(i,DIR)/quarantine.jrnl when the journal is sharded.")
+  in
+  let window =
+    Arg.(value & opt (some int) None
+         & info [ "window" ] ~docv:"N"
+             ~doc:"Bound on in-flight pairs in streaming mode (admission control for \
+                   the generator).  Default: max(4, 2*jobs).")
+  in
+  let poison =
+    Arg.(value & opt (some float) None
+         & info [ "poison" ] ~docv:"RATE"
+             ~doc:"Arm the worker-crash fault site at $(docv) (0.0-1.0) per pair, \
+                   seeded per label — the poison-pair quarantine drill.")
+  in
   Cmd.v
-    (Cmd.info "verify-all" ~doc:"Verify all 15 pairs"
+    (Cmd.info "verify-all" ~doc:"Verify all 15 pairs, or stream a corpus"
        ~man:
          [
            `S Manpage.s_exit_status;
@@ -431,7 +744,7 @@ let verify_all_cmd =
          ])
     Term.(const run_all $ jobs $ retries $ deadline_arg $ chaos_seed_arg $ journal $ resume
           $ fail_fast $ stall_grace $ trace_arg $ metrics_arg $ provenance_arg
-          $ spec_jobs_arg)
+          $ spec_jobs_arg $ corpus $ shards $ quarantine $ window $ poison)
 
 (* ------------------------------------------------------------------ *)
 (* explain: render the causal evidence behind one verdict.  The live form
@@ -529,18 +842,18 @@ let fuzz_cmd =
    timings), one sorted line per pair — two journals of equivalent runs
    diff clean, which is exactly what the kill-and-resume CI check does. *)
 
-let journal_dump path =
-  if not (Sys.file_exists path) then structured_error "no such journal: %s" path
-  else begin
-    let r = Journal.replay path in
-    let tbl : (string, string * Octopocs.report) Hashtbl.t = Hashtbl.create 31 in
-    let undecodable = ref 0 in
-    List.iter
-      (fun payload ->
-        match Octopocs.decode_result payload with
-        | Some (label, key, rep) -> Hashtbl.replace tbl label (key, rep)
-        | None -> incr undecodable)
-      r.records;
+(* Decode, dedupe (last record per label wins) and print verdict records;
+   shared by the single-file and sharded-directory dump forms.  Returns
+   (pairs printed, undecodable records). *)
+let dump_verdict_records records =
+  let tbl : (string, string * Octopocs.report) Hashtbl.t = Hashtbl.create 31 in
+  let undecodable = ref 0 in
+  List.iter
+    (fun payload ->
+      match Octopocs.decode_result payload with
+      | Some (label, key, rep) -> Hashtbl.replace tbl label (key, rep)
+      | None -> incr undecodable)
+    records;
     let entries = Hashtbl.fold (fun l (k, rep) acc -> (l, k, rep) :: acc) tbl [] in
     let entries =
       List.sort
@@ -587,17 +900,94 @@ let journal_dump path =
            else Printf.sprintf " [degraded: %s]" (String.concat " -> " rep.degradations))
           metrics_detail prov_detail)
       entries;
-    say "%d pair(s)%s%s" (List.length entries)
-      (if !undecodable > 0 then Printf.sprintf ", %d undecodable record(s)" !undecodable
+    (List.length entries, !undecodable)
+
+(* Sharded-directory dump: merge every shard's valid prefix, then the
+   quarantine journal (one line per set-aside pair, no backtrace — the
+   dump must diff clean across equivalent runs). *)
+let journal_dump_dir dir =
+  match Journal.Sharded.replay_merged dir with
+  | exception Failure msg -> structured_error "%s" msg
+  | m ->
+      let npairs, undecodable = dump_verdict_records m.Journal.Sharded.mrecords in
+      let qpath = Filename.concat dir "quarantine.jrnl" in
+      let quars =
+        if not (Sys.file_exists qpath) then []
+        else begin
+          let tbl : (string, Octopocs.quarantine) Hashtbl.t = Hashtbl.create 7 in
+          List.iter
+            (fun payload ->
+              match Octopocs.decode_quarantine payload with
+              | Some q -> Hashtbl.replace tbl q.Octopocs.qlabel q
+              | None -> ())
+            (Journal.replay qpath).Journal.records;
+          Hashtbl.fold (fun _ q acc -> q :: acc) tbl []
+          |> List.sort (fun (a : Octopocs.quarantine) b ->
+                 compare a.Octopocs.qlabel b.Octopocs.qlabel)
+        end
+      in
+      List.iter
+        (fun (q : Octopocs.quarantine) ->
+          say "quar %-4s key=%s %s after %d attempt(s): %s" q.Octopocs.qlabel
+            q.Octopocs.qkey q.Octopocs.qreason q.Octopocs.qattempts q.Octopocs.qmessage)
+        quars;
+      say "%d pair(s), %d quarantined, %d shard(s)%s%s" npairs (List.length quars)
+        m.Journal.Sharded.mshards
+        (if m.Journal.Sharded.mtorn > 0 then
+           Printf.sprintf ", %d torn shard tail(s) dropped" m.Journal.Sharded.mtorn
+         else "")
+        (if undecodable > 0 then Printf.sprintf ", %d undecodable record(s)" undecodable
+         else "");
+      0
+
+let journal_dump path =
+  if not (Sys.file_exists path) then structured_error "no such journal: %s" path
+  else if Sys.is_directory path then journal_dump_dir path
+  else begin
+    let r = Journal.replay path in
+    let npairs, undecodable = dump_verdict_records r.Journal.records in
+    say "%d pair(s)%s%s" npairs
+      (if undecodable > 0 then Printf.sprintf ", %d undecodable record(s)" undecodable
        else "")
-      (if r.torn then ", torn trailing record dropped" else "");
+      (if r.Journal.torn then ", torn trailing record dropped" else "");
     0
   end
 
 let journal_cmd =
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH") in
-  Cmd.v (Cmd.info "journal" ~doc:"Dump a verification journal")
+  Cmd.v
+    (Cmd.info "journal"
+       ~doc:"Dump a verification journal: a single file, or a sharded journal \
+             directory (all shards merged, quarantined pairs listed)")
     Term.(const journal_dump $ path)
+
+(* ------------------------------------------------------------------ *)
+(* corpus: materialise a generated-corpus description as a directory of
+   one-pair manifests (a few bytes per pair — the programs are regenerated
+   from the coordinates at verification time). *)
+
+let corpus_write dir count seed =
+  if count < 0 then structured_error "--count must be >= 0"
+  else begin
+    Source.write_dir ~dir ~seed ~count;
+    say "wrote %d pair manifest(s) to %s (seed %d)" count dir seed;
+    0
+  end
+
+let corpus_cmd =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  let count =
+    Arg.(value & opt int 100
+         & info [ "count" ] ~docv:"N" ~doc:"How many generated pairs to describe.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed recorded in every manifest.")
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:"Write a corpus directory of pair manifests for verify-all --corpus DIR")
+    Term.(const corpus_write $ dir $ count $ seed)
 
 (* ------------------------------------------------------------------ *)
 (* trace: schema validation of a --trace output file.  Exit 0 on a valid
@@ -633,7 +1023,7 @@ let () =
       (Cmd.group info
          [
            verify_cmd; verify_all_cmd; explain_cmd; inspect_cmd; fuzz_cmd; journal_cmd;
-           trace_cmd;
+           corpus_cmd; trace_cmd;
          ])
   with
   | code -> exit code

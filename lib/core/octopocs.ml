@@ -747,6 +747,8 @@ type job = {
 let job ?ell ?config ~label ~s ~t ~poc () =
   { label; js = s; jt = t; jpoc = poc; jell = ell; jconfig = config }
 
+let job_label (j : job) = j.label
+
 (* ------------------------------------------------------------------ *)
 (* Verdict cache keys. *)
 
@@ -923,10 +925,25 @@ let decode_result (s : string) : (string * string * report) option =
     if get_int () <> expect then raise Bad;
     Array.init expect (fun _ -> get_int ())
   in
+  let get_counters () =
+    (* The counter array is decoded length-tolerantly: it is the one
+       snapshot dimension that grows when a release adds a counter (the
+       phase list is the pipeline's shape; the counter list is an open
+       enumeration).  A record written by an older build carries fewer
+       counters — pad the missing ones with 0; a newer build's extras are
+       read and dropped.  The count is still sanity-bounded so corrupt
+       lengths stay rejected. *)
+    let k = get_int () in
+    if k < 0 || k > 64 || k * 8 > n - !pos then raise Bad;
+    let a = Array.init k (fun _ -> get_int ()) in
+    let counters = Array.make Metrics.ncounters 0 in
+    Array.blit a 0 counters 0 (min k Metrics.ncounters);
+    counters
+  in
   let get_metrics () =
     (* Sequenced lets: record-field evaluation order is unspecified, and
        these reads must consume the stream in write order. *)
-    let counters = get_int_array Metrics.ncounters in
+    let counters = get_counters () in
     let phase_count = get_int_array Metrics.nphases in
     let phase_ns = get_int_array Metrics.nphases in
     let phase_hist = get_int_array (Metrics.nphases * Metrics.nbuckets) in
@@ -1079,3 +1096,288 @@ let run_all ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?stall_grace_s
     batch
     (Octo_util.Pool.parallel_map_result ~jobs ~retries ?stall_grace_s ~on_settle:settle one
        batch)
+
+(* ------------------------------------------------------------------ *)
+(* Poison-pair quarantine. *)
+
+type quarantine = {
+  qlabel : string;
+  qkey : string;
+  qreason : string;  (** ["worker crashed"] or ["worker stalled"] *)
+  qmessage : string;  (** printable exception of the final attempt *)
+  qbacktrace : string;  (** final attempt's backtrace (may be empty) *)
+  qattempts : int;  (** attempts consumed, retries included *)
+}
+
+(* Quarantine records share the journal framing with verdicts but carry
+   their own version tag, so [decode_result] rejects them cleanly (version
+   mismatch -> [None]) and vice versa — one quarantine journal can be
+   dumped by the same tolerant reader loop as a verdict journal. *)
+let quarantine_codec_version = "OQR1"
+
+let encode_quarantine (q : quarantine) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b quarantine_codec_version;
+  put_str b q.qlabel;
+  put_str b q.qkey;
+  put_str b q.qreason;
+  put_str b q.qmessage;
+  put_str b q.qbacktrace;
+  put_int b q.qattempts;
+  Buffer.contents b
+
+let decode_quarantine (s : string) : quarantine option =
+  let pos = ref 0 in
+  let n = String.length s in
+  let exception Bad in
+  let take k =
+    if n - !pos < k then raise Bad;
+    let r = String.sub s !pos k in
+    pos := !pos + k;
+    r
+  in
+  let get_str () =
+    let l = take 4 in
+    let len =
+      Char.code l.[0] lor (Char.code l.[1] lsl 8) lor (Char.code l.[2] lsl 16)
+      lor (Char.code l.[3] lsl 24)
+    in
+    if len < 0 || len > n - !pos then raise Bad;
+    take len
+  in
+  let get_int () =
+    let s = take 8 in
+    Int64.to_int (Bytes.get_int64_le (Bytes.unsafe_of_string s) 0)
+  in
+  match
+    if take 4 <> quarantine_codec_version then raise Bad;
+    let qlabel = get_str () in
+    let qkey = get_str () in
+    let qreason = get_str () in
+    let qmessage = get_str () in
+    let qbacktrace = get_str () in
+    let qattempts = get_int () in
+    if !pos <> n then raise Bad;
+    { qlabel; qkey; qreason; qmessage; qbacktrace; qattempts }
+  with
+  | q -> Some q
+  | exception Bad -> None
+
+(* ------------------------------------------------------------------ *)
+(* Streaming batch verification. *)
+
+type stream_stats = {
+  st_pulled : int;  (** jobs pulled from the source *)
+  st_settled : int;  (** jobs that produced a verdict (on_settle fired) *)
+  st_quarantined : int;  (** jobs handed to [on_quarantine] *)
+  st_peak_in_flight : int;  (** high-water mark of concurrently held jobs *)
+}
+
+(** [run_stream ?config ?jobs ?retries ?window ?on_settle ?on_quarantine
+    next] verifies a stream of jobs pulled lazily from [next] — the
+    corpus-scale runner.  Unlike {!run_all} it never materializes the
+    batch: [next ()] is called (from the dispatching domain only) each
+    time a worker slot is admitted, so peak memory is bounded by the
+    admission window, not the corpus size.
+
+    Admission control: at most [window] jobs (default [max 4 (2 * jobs)])
+    are in flight at once; the generator behind [next] is simply not
+    pulled while the window is full, which is what bounds in-flight
+    memory.
+
+    Crash containment: a job whose worker raises gets [retries] extra
+    attempts, each preceded by {!Octo_util.Pool.backoff_delay}'s capped
+    exponential backoff (the job's attempt streams — fault injectors
+    included — advance deterministically, so a killed-and-resumed run
+    replays the same decisions).  A job that still raises after the
+    budget is handed to [on_quarantine] with its reason, printable
+    exception, backtrace and attempt count — it does NOT settle and does
+    not fail the batch.  Without [on_quarantine], exhausted jobs settle
+    as [Failure "worker crashed: ..."] like {!run_all}.
+
+    There is no heartbeat watchdog in streaming mode: wedged-worker
+    containment comes from the per-job cooperative deadline
+    ([config.deadline_s]); the injected [Worker_stall] site sleeps then
+    raises, taking the crash path above (reason ["worker stalled"]).
+
+    [on_settle job report] and [on_quarantine q] fire exactly once per
+    job, from worker context, in completion order; [run_stream] returns
+    only after every callback has finished. *)
+let run_stream ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?window ?on_settle
+    ?on_quarantine (next : unit -> job option) : stream_stats =
+  let jobs = Octo_util.Pool.effective_jobs jobs in
+  let window = match window with Some w -> max 1 w | None -> max 4 (2 * jobs) in
+  let one j =
+    let cfg = Option.value j.jconfig ~default:config in
+    Faultinject.maybe_raise cfg.inject Faultinject.Worker_crash
+      ~what:"synthetic worker exception";
+    if Faultinject.fire cfg.inject Faultinject.Worker_stall then begin
+      Unix.sleepf 0.25;
+      raise (Faultinject.Injected "worker-stall: synthetic wedged worker")
+    end;
+    run ~config:cfg ?ell:j.jell ~s:j.js ~t:j.jt ~poc:j.jpoc ()
+  in
+  let settle_cb j r =
+    match on_settle with
+    | None -> ()
+    | Some f -> (
+        try f j r
+        with e ->
+          Logs.err (fun m ->
+              m "run_stream: on_settle for %s raised %s" j.label (Printexc.to_string e)))
+  in
+  let stall_message e =
+    (* The injected stall site raises [Injected "worker-stall: ..."] after
+       its sleep; classify it as a stall so the quarantine record
+       distinguishes a wedge from a crash. *)
+    match e with
+    | Faultinject.Injected msg ->
+        String.length msg >= 12 && String.sub msg 0 12 = "worker-stall"
+    | _ -> false
+  in
+  let exhausted j (e, bt) ~attempts =
+    let reason = if stall_message e then "worker stalled" else "worker crashed" in
+    match on_quarantine with
+    | Some f -> (
+        let q =
+          {
+            qlabel = j.label;
+            qkey = job_key ~config j;
+            qreason = reason;
+            qmessage = Printexc.to_string e;
+            qbacktrace = Printexc.raw_backtrace_to_string bt;
+            qattempts = attempts;
+          }
+        in
+        try
+          f q;
+          `Quarantined
+        with qe ->
+          Logs.err (fun m ->
+              m "run_stream: on_quarantine for %s raised %s" j.label (Printexc.to_string qe));
+          `Quarantined)
+    | None ->
+        settle_cb j (failure_report (reason ^ ": " ^ Printexc.to_string e));
+        `Settled
+  in
+  let pulled = ref 0 and settled = ref 0 and quarantined = ref 0 in
+  let peak = ref 0 in
+  if jobs <= 1 then begin
+    (* Serial: pull, attempt with backoff'd retries, settle or quarantine,
+       all in the calling domain.  [in_flight] is identically 1. *)
+    peak := 1;
+    let rec drain () =
+      match next () with
+      | None -> ()
+      | Some j ->
+          incr pulled;
+          let bkey = Hashtbl.hash j.label in
+          let rec attempt k =
+            match one j with
+            | r ->
+                settle_cb j r;
+                incr settled
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                if k < retries then begin
+                  Metrics.incr Metrics.Pool_retries;
+                  Logs.warn (fun m ->
+                      m "run_stream: %s raised %s; retrying (%d/%d)" j.label
+                        (Printexc.to_string e) (k + 1) retries);
+                  Octo_util.Pool.backoff_sleep ~key:bkey ~attempt:(k + 1) ();
+                  attempt (k + 1)
+                end
+                else begin
+                  match exhausted j (e, bt) ~attempts:(k + 1) with
+                  | `Quarantined -> incr quarantined
+                  | `Settled -> incr settled
+                end
+          in
+          attempt 0;
+          drain ()
+    in
+    drain ();
+    {
+      st_pulled = !pulled;
+      st_settled = !settled;
+      st_quarantined = !quarantined;
+      st_peak_in_flight = (if !pulled = 0 then 0 else 1);
+    }
+  end
+  else begin
+    let pool = Octo_util.Pool.create ~jobs in
+    let lock = Mutex.create () in
+    let slot_free = Condition.create () in
+    let in_flight = ref 0 in
+    let release () =
+      Mutex.lock lock;
+      decr in_flight;
+      Condition.signal slot_free;
+      Mutex.unlock lock
+    in
+    let rec task j k () =
+      match one j with
+      | r ->
+          settle_cb j r;
+          Mutex.lock lock;
+          incr settled;
+          Mutex.unlock lock;
+          release ()
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          if k < retries then begin
+            Metrics.incr Metrics.Pool_retries;
+            Logs.warn (fun m ->
+                m "run_stream: %s raised %s; retrying (%d/%d)" j.label (Printexc.to_string e)
+                  (k + 1) retries);
+            Octo_util.Pool.backoff_sleep ~key:(Hashtbl.hash j.label) ~attempt:(k + 1) ();
+            Octo_util.Pool.submit pool (task j (k + 1))
+          end
+          else begin
+            (match exhausted j (e, bt) ~attempts:(k + 1) with
+            | `Quarantined ->
+                Mutex.lock lock;
+                incr quarantined;
+                Mutex.unlock lock
+            | `Settled ->
+                Mutex.lock lock;
+                incr settled;
+                Mutex.unlock lock);
+            release ()
+          end
+    in
+    (* Dispatcher: the calling domain pulls the next job only once a slot
+       is free — this is the generator pause. *)
+    let rec dispatch () =
+      Mutex.lock lock;
+      while !in_flight >= window do
+        Condition.wait slot_free lock
+      done;
+      incr in_flight;
+      if !in_flight > !peak then peak := !in_flight;
+      Mutex.unlock lock;
+      match next () with
+      | None ->
+          (* Nothing was admitted after all: give the slot back. *)
+          release ()
+      | Some j ->
+          Mutex.lock lock;
+          incr pulled;
+          Mutex.unlock lock;
+          Octo_util.Pool.submit pool (task j 0);
+          dispatch ()
+    in
+    dispatch ();
+    Mutex.lock lock;
+    while !in_flight > 0 do
+      Condition.wait slot_free lock
+    done;
+    Mutex.unlock lock;
+    Octo_util.Pool.shutdown pool;
+    {
+      st_pulled = !pulled;
+      st_settled = !settled;
+      st_quarantined = !quarantined;
+      st_peak_in_flight = !peak;
+    }
+  end

@@ -276,3 +276,66 @@ val run_all :
   ?on_settle:(string -> report -> unit) ->
   job list ->
   (string * report) list
+
+(** [job_label j] is the caller label the job was built with. *)
+val job_label : job -> string
+
+(** A poison-pair quarantine record: a job whose worker crashed or
+    stalled on every attempt of its retry budget, moved aside with its
+    evidence instead of failing the batch. *)
+type quarantine = {
+  qlabel : string;
+  qkey : string;  (** the job's {!content_key} *)
+  qreason : string;  (** ["worker crashed"] or ["worker stalled"] *)
+  qmessage : string;  (** printable exception of the final attempt *)
+  qbacktrace : string;  (** final attempt's backtrace (may be empty) *)
+  qattempts : int;  (** attempts consumed, retries included *)
+}
+
+(** [encode_quarantine q] serializes a quarantine record for the
+    quarantine journal.  The record carries its own version tag (["OQR1"]),
+    so {!decode_result} rejects it cleanly and vice versa. *)
+val encode_quarantine : quarantine -> string
+
+(** [decode_quarantine payload] is the inverse of {!encode_quarantine};
+    [None] on any malformed or foreign-versioned record — never raises. *)
+val decode_quarantine : string -> quarantine option
+
+(** Summary of one {!run_stream} invocation. *)
+type stream_stats = {
+  st_pulled : int;  (** jobs pulled from the source *)
+  st_settled : int;  (** jobs that produced a verdict ([on_settle] fired) *)
+  st_quarantined : int;  (** jobs handed to [on_quarantine] *)
+  st_peak_in_flight : int;  (** high-water mark of concurrently held jobs *)
+}
+
+(** [run_stream ?config ?jobs ?retries ?window ?on_settle ?on_quarantine
+    next] verifies a stream of jobs pulled lazily from [next] — the
+    corpus-scale runner.  The batch is never materialized: [next ()] is
+    called (from the dispatching domain only) each time the admission
+    window has a free slot, so peak memory is bounded by [window] (default
+    [max 4 (2 * jobs)]) in-flight jobs, not by the corpus size.
+
+    A job whose worker raises gets [retries] extra attempts, each preceded
+    by a capped exponential backoff with deterministic jitter
+    ({!Octo_util.Pool.backoff_delay}).  A job still raising after the
+    budget is handed to [on_quarantine] (when given) instead of settling —
+    poison pairs are moved aside, never fail the batch; without
+    [on_quarantine] they settle as [Failure "worker crashed/stalled: ..."]
+    like {!run_all}.
+
+    Streaming mode has no heartbeat watchdog; wedged workers are bounded
+    by the per-job cooperative deadline ([config.deadline_s]).
+
+    [on_settle job report] and [on_quarantine q] fire exactly once per
+    job, from worker context, in completion order; [run_stream] returns
+    only after every callback has finished. *)
+val run_stream :
+  ?config:config ->
+  ?jobs:int ->
+  ?retries:int ->
+  ?window:int ->
+  ?on_settle:(job -> report -> unit) ->
+  ?on_quarantine:(quarantine -> unit) ->
+  (unit -> job option) ->
+  stream_stats

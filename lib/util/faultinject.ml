@@ -78,6 +78,20 @@ let enabled = function Off -> false | On _ -> true
 
 let ppm r = if r <= 0. then 0 else if r >= 1. then 1_000_000 else int_of_float (r *. 1e6)
 
+(** [seed_for ~seed label] derives a per-pair injector seed from a batch
+    seed and a pair label.  Registry pairs use integer indices mixed with a
+    golden-ratio constant; corpus pairs have string labels, so this hashes
+    the label bytes (FNV-1a, a fixed algorithm — NOT [Hashtbl.hash], whose
+    output is not pinned across compiler versions) into the seed.  Stable
+    across runs and processes, so killed-and-resumed corpus runs replay the
+    same per-pair fault schedules. *)
+let seed_for ~seed label =
+  let h = ref 0x811C9DC5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x100000001B3 land max_int)
+    label;
+  seed lxor !h
+
 (** [create ?rate ?site_rates ~seed ()] builds an injector whose every site
     fires with probability [rate] per check, overridden per-site by
     [site_rates].  A rate of [1.0] fires on every check (used by tests to

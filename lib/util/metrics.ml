@@ -65,8 +65,9 @@ type counter =
   | Cache_hits  (** CFG build-cache hits *)
   | Pool_retries  (** worker crash/stall retries (requeues) *)
   | Pool_stalls  (** tasks settled as Stalled by the watchdog *)
+  | Pool_backoffs  (** backoff sleeps taken before a crash-retry *)
 
-let ncounters = 8
+let ncounters = 9
 
 let all_counters =
   [
@@ -78,6 +79,7 @@ let all_counters =
     Cache_hits;
     Pool_retries;
     Pool_stalls;
+    Pool_backoffs;
   ]
 
 let counter_index = function
@@ -89,6 +91,7 @@ let counter_index = function
   | Cache_hits -> 5
   | Pool_retries -> 6
   | Pool_stalls -> 7
+  | Pool_backoffs -> 8
 
 let counter_name = function
   | Vm_steps -> "vm-steps"
@@ -99,6 +102,7 @@ let counter_name = function
   | Cache_hits -> "cache-hits"
   | Pool_retries -> "pool-retries"
   | Pool_stalls -> "pool-stalls"
+  | Pool_backoffs -> "pool-backoffs"
 
 (* -- snapshots / cells ------------------------------------------------- *)
 

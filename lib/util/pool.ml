@@ -281,10 +281,35 @@ let shared () =
   Mutex.unlock shared_lock;
   p
 
+(* ------------------------------------------------------------------ *)
+(* Crash-retry backoff. *)
+
+(** [backoff_delay ?base_s ?cap_s ~key ~attempt ()] is the capped
+    exponential backoff before retry number [attempt] (1-based) of the task
+    identified by [key]: [base_s * 2^(attempt-1)], capped at [cap_s], then
+    scaled by a jitter factor in [0.5, 1.5) drawn from a splitmix64 stream
+    seeded by [(key, attempt)].  Pure — the same (key, attempt) always
+    yields the same delay — so retry schedules replay deterministically
+    under the chaos harness while still decorrelating batch-mates that
+    crash together (distinct keys jitter apart). *)
+let backoff_delay ?(base_s = 0.002) ?(cap_s = 0.100) ~key ~attempt () =
+  let a = max 1 (min attempt 16) in
+  let d = Float.min cap_s (base_s *. Float.of_int (1 lsl (a - 1))) in
+  let r = Rng.create (key lxor (attempt * 0x9E3779B9)) in
+  let u = Float.of_int (Rng.int r 1_000_000) /. 1e6 in
+  d *. (0.5 +. u)
+
+(* Sleep the backoff for retry [attempt] of task [key] and count it. *)
+let backoff_sleep ?base_s ?cap_s ~key ~attempt () =
+  Metrics.incr Metrics.Pool_backoffs;
+  Unix.sleepf (backoff_delay ?base_s ?cap_s ~key ~attempt ())
+
 (* One task attempt with bounded retry: transient faults (a worker hiccup,
    an injected crash) get [retries] fresh attempts before the error is
-   recorded; the final exception keeps its backtrace. *)
-let run_task ~retries f x =
+   recorded, each preceded by a capped exponential backoff (jittered by
+   [bkey], the task's stable identity); the final exception keeps its
+   backtrace. *)
+let run_task ?(bkey = 0) ~retries f x =
   let rec attempt k =
     match f x with
     | v -> Stdlib.Ok v
@@ -294,6 +319,7 @@ let run_task ~retries f x =
           Metrics.incr Metrics.Pool_retries;
           Logs.warn (fun m ->
               m "Pool: task raised %s; retrying (%d/%d)" (Printexc.to_string e) (k + 1) retries);
+          backoff_sleep ~key:bkey ~attempt:(k + 1) ();
           attempt (k + 1)
         end
         else Stdlib.Error (e, bt)
@@ -439,6 +465,10 @@ let map_result_watchdog ~retries ~grace ~on_settle pool f items =
             Logs.warn (fun m ->
                 m "Pool: task %d raised %s; retrying (%d/%d)" i (Printexc.to_string e) a
                   retries);
+            (* Back off before requeueing: a transient fault (contended
+               resource, injected crash burst) should not be re-hit
+               immediately by every crashed batch-mate at once. *)
+            backoff_sleep ~key:i ~attempt:a ();
             submit pool (attempt i g)
           end
           else begin
@@ -547,7 +577,7 @@ let map_result ?(retries = 0) ?stall_grace_s ?on_settle pool f items =
       Array.iteri
         (fun i x ->
           submit pool (fun () ->
-              let r = run_task ~retries f x in
+              let r = run_task ~bkey:i ~retries f x in
               run_settle_cb on_settle i r;
               Mutex.lock lock;
               out.(i) <- Some r;
@@ -592,7 +622,7 @@ let parallel_map_result ~jobs ?(retries = 0) ?stall_grace_s ?on_settle f items =
   if workers <= 1 then
     List.mapi
       (fun i x ->
-        let r = run_task ~retries f x in
+        let r = run_task ~bkey:i ~retries f x in
         run_settle_cb on_settle i r;
         r)
       items

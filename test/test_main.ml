@@ -17,6 +17,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("robust", Test_robust.suite);
       ("journal", Test_journal.suite);
+      ("corpus", Test_corpus.suite);
       ("trace", Test_trace.suite);
       ("prop", Test_prop.suite);
       ("stress", Test_stress.suite);
