@@ -996,6 +996,150 @@ let chaos ~schedules ~seed () =
     !violations;
   !violations
 
+(* Sandbox chaos: the process-isolation layer under seeded child deaths.
+   Phase A — Domain and process isolation agree pair-for-pair on the
+   15-pair registry (same structural verdicts, poc' bytes included, same
+   degradation rungs): the journal-dump identity the CLI promises for
+   [--isolate proc].  Phase B — a seeded schedule of real child deaths
+   (SIGSEGV / SIGKILL drawn pre-fork from the child-segv and
+   child-oom-kill sites) double-replays identically: same settled table,
+   same quarantine set.  Must run FIRST among the chaos phases, with its
+   process runs before its domain run: OCaml 5.1 forbids [Unix.fork]
+   permanently once any domain has ever been spawned in the process, so
+   every fork must precede the first domain. *)
+let chaos_sandbox ~seed () =
+  say "";
+  say "CHAOS sandbox: process isolation (fork + rlimit + pipe protocol)";
+  say "(phase A: domain vs process verdict identity over %d pairs;"
+    (List.length Registry.all);
+  say " phase B: seeded child SIGSEGV/OOM-kill schedule x2 replays, 1 retry)";
+  hr ();
+  let npairs = List.length Registry.all in
+  let violations = ref 0 in
+  let violate fmt = Printf.ksprintf (fun m -> incr violations; say "  VIOLATION: %s" m) fmt in
+  (* Phase A: clean configs, batch API, both isolation modes.  The process
+     run MUST precede the domain run (fork-before-first-domain). *)
+  let clean_job (c : Registry.case) =
+    let config = { Octopocs.default_config with deadline_s = Some 30.0 } in
+    Octopocs.job ~config ~label:(string_of_int c.idx) ~s:c.s ~t:c.t ~poc:c.poc ()
+  in
+  let batch_table results =
+    List.map
+      (fun (label, (r : Octopocs.report)) -> (label, r.Octopocs.verdict, r.degradations))
+      results
+    |> List.sort compare
+  in
+  let prc =
+    batch_table
+      (Octopocs.run_all ~jobs:4 ~isolate:Octopocs.Processes
+         (List.map clean_job Registry.all))
+  in
+  (* Phase B: every pair streams through the process supervisor with the
+     child-death sites armed.  The die is drawn in the parent before each
+     fork, so retries advance the per-pair stream deterministically; fresh
+     injectors per run — determinism is seed-to-verdicts, never object
+     reuse. *)
+  let death_rates =
+    [ (Faultinject.Child_segv, 0.35); (Faultinject.Child_oom_kill, 0.25) ]
+  in
+  let death_inject (c : Registry.case) =
+    Faultinject.create ~rate:0.0 ~site_rates:death_rates
+      ~seed:(seed lxor (c.idx * 0x9E3779B9)) ()
+  in
+  (* The die schedule is parent-drawn and scheduling-independent, so the
+     expected deaths and the exact quarantine set are computable in
+     advance by replaying each pair's injector stream the way the
+     scheduler draws it (segv first, oom only if segv did not fire; one
+     such draw pair per attempt, 1 retry). *)
+  let predicted_deaths = ref 0 in
+  let predicted_quars =
+    List.filter_map
+      (fun (c : Registry.case) ->
+        let inject = death_inject c in
+        let die () =
+          if Faultinject.fire inject Faultinject.Child_segv then `Segv
+          else if Faultinject.fire inject Faultinject.Child_oom_kill then `Oom
+          else `None
+        in
+        match die () with
+        | `None -> None
+        | _ -> (
+            incr predicted_deaths;
+            match die () with
+            | `None -> None
+            | d2 ->
+                incr predicted_deaths;
+                let reason, message =
+                  match d2 with
+                  | `Oom -> ("oom", "child out of memory: SIGKILL (kernel OOM killer)")
+                  | _ -> ("worker crashed", "child segfaulted (SIGSEGV)")
+                in
+                Some (string_of_int c.idx, reason, message, 2)))
+      Registry.all
+    |> List.sort compare
+  in
+  let death_run () =
+    let job_of (c : Registry.case) =
+      let config =
+        { Octopocs.default_config with inject = death_inject c; deadline_s = Some 30.0 }
+      in
+      Octopocs.job ~config ~label:(string_of_int c.idx) ~s:c.s ~t:c.t ~poc:c.poc ()
+    in
+    let pending = ref (List.map job_of Registry.all) in
+    let next () =
+      match !pending with [] -> None | j :: rest -> pending := rest; Some j
+    in
+    let settled = ref [] and quars = ref [] in
+    let on_settle j (r : Octopocs.report) =
+      settled := (Octopocs.job_label j, r.Octopocs.verdict, r.degradations) :: !settled
+    in
+    let on_quarantine (q : Octopocs.quarantine) =
+      quars := Octopocs.(q.qlabel, q.qreason, q.qmessage, q.qattempts) :: !quars
+    in
+    let st =
+      Octopocs.run_stream ~jobs:4 ~retries:1 ~isolate:Octopocs.Processes ~on_settle
+        ~on_quarantine next
+    in
+    (st, List.sort compare !settled, List.sort compare !quars)
+  in
+  let sta, seta, qa = death_run () in
+  let _stb, setb, qb = death_run () in
+  (* Phase A's domain half runs only now: the first Domain.spawn forecloses
+     every later fork, so it must come after the last process run. *)
+  let dom = batch_table (Octopocs.run_all ~jobs:4 (List.map clean_job Registry.all)) in
+  if List.length dom <> npairs then
+    violate "sandbox: domain run returned %d/%d reports" (List.length dom) npairs;
+  if List.length prc <> npairs then
+    violate "sandbox: process run returned %d/%d reports" (List.length prc) npairs;
+  if dom <> prc then
+    violate "sandbox: process-isolated verdicts differ from domain-mode verdicts";
+  say "phase A: domain vs process tables %s over %d pairs"
+    (if dom = prc then "identical" else "DIFFER")
+    npairs;
+  if sta.Octopocs.st_pulled <> npairs then
+    violate "sandbox: pulled %d/%d pairs" sta.Octopocs.st_pulled npairs;
+  if List.length seta + List.length qa <> npairs then
+    violate "sandbox: %d settled + %d quarantined != %d pairs" (List.length seta)
+      (List.length qa) npairs;
+  if seta <> setb then
+    violate "sandbox: settled verdicts differ between identical child-death replays";
+  if qa <> qb then
+    violate "sandbox: quarantine sets differ between identical child-death replays";
+  if !predicted_deaths = 0 then
+    violate "sandbox: seed %d predicts no child deaths; the phase is vacuous" seed;
+  if qa <> predicted_quars then
+    violate "sandbox: quarantine set differs from the pre-drawn die schedule (%d vs %d)"
+      (List.length qa) (List.length predicted_quars);
+  List.iter
+    (fun (l, reason, _, attempts) ->
+      say "  quarantined pair %s (%s) after %d attempts" l reason attempts)
+    qa;
+  say "phase B: %d predicted child death(s); %d settled, %d quarantined, x2 replays %s"
+    !predicted_deaths (List.length seta) (List.length qa)
+    (if seta = setb && qa = qb then "identical" else "DIFFER");
+  say "sandbox: %d violation(s)" !violations;
+  !violations
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -1034,7 +1178,11 @@ let () =
   let gate_regressions = if List.mem "gate" args then bench_gate () else 0 in
   let chaos_violations =
     if List.mem "chaos" args then begin
-      let v = chaos ~schedules:(opt "--schedules" 8) ~seed:(opt "--chaos-seed" 42) () in
+      (* sandbox phase first: OCaml 5.1 permanently forbids Unix.fork once
+         any domain has ever been spawned, so its forks must precede the
+         domain-pool phases *)
+      let v = chaos_sandbox ~seed:(opt "--chaos-seed" 42) () in
+      let v = v + chaos ~schedules:(opt "--schedules" 8) ~seed:(opt "--chaos-seed" 42) () in
       v + chaos_corpus ~seed:(opt "--chaos-seed" 42) ()
     end
     else 0

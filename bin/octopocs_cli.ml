@@ -45,11 +45,19 @@ let say fmt = Format.printf (fmt ^^ "@.")
    chaos seed derives one independent injector per pair (splitmix64 mixing
    of the pair index), so a batch's fault schedule does not depend on which
    worker domain picks up which job. *)
-let config_for ?(dynamic = false) ?(spec = 1) ~deadline ~chaos_seed idx =
+let config_for ?(dynamic = false) ?(spec = 1) ?(chaos_sites = []) ~deadline ~chaos_seed idx
+    =
   let inject =
-    match chaos_seed with
-    | None -> Faultinject.none
-    | Some seed -> Faultinject.create ~seed:(seed lxor (idx * 0x9E3779B9)) ()
+    match (chaos_sites, chaos_seed) with
+    | [], None -> Faultinject.none
+    | [], Some seed -> Faultinject.create ~seed:(seed lxor (idx * 0x9E3779B9)) ()
+    | _ :: _, _ ->
+        (* Named-sites mode: only the sites the user listed fire, at their
+           listed rates; everything else stays silent (rate 0). *)
+        let seed = Option.value chaos_seed ~default:0xC0FFEE in
+        Faultinject.create
+          ~seed:(seed lxor (idx * 0x9E3779B9))
+          ~rate:0.0 ~site_rates:chaos_sites ()
   in
   { Octopocs.default_config with
     dynamic_cfg = dynamic; deadline_s = deadline; inject; spec_jobs = spec }
@@ -245,20 +253,48 @@ let report_of = function Fresh r | Cached r -> r
    of pull order and of which worker runs the pair.  --poison arms only
    the worker-crash site (the poison-pair drill); --chaos-seed alone
    keeps the all-sites schedule of the registry path. *)
-let config_for_label ?(spec = 1) ~deadline ~chaos_seed ~poison label =
+let config_for_label ?(spec = 1) ?(chaos_sites = []) ~deadline ~chaos_seed ~poison label =
+  (* --poison is sugar for --chaos-site worker-crash=RATE; both compose
+     into one named-sites injector (rate 0.0 base — only listed sites
+     fire). *)
+  let site_rates =
+    (match poison with
+    | Some p when p > 0.0 -> [ (Faultinject.Worker_crash, p) ]
+    | _ -> [])
+    @ chaos_sites
+  in
   let inject =
-    match (poison, chaos_seed) with
-    | Some p, _ when p > 0.0 ->
+    match (site_rates, chaos_seed) with
+    | [], None -> Faultinject.none
+    | [], Some seed -> Faultinject.create ~seed:(Faultinject.seed_for ~seed label) ()
+    | _ :: _, _ ->
         let seed = Option.value chaos_seed ~default:0xC0FFEE in
         Faultinject.create
           ~seed:(Faultinject.seed_for ~seed label)
-          ~rate:0.0
-          ~site_rates:[ (Faultinject.Worker_crash, p) ]
-          ()
-    | _, Some seed -> Faultinject.create ~seed:(Faultinject.seed_for ~seed label) ()
-    | _, None -> Faultinject.none
+          ~rate:0.0 ~site_rates ()
   in
   { Octopocs.default_config with deadline_s = deadline; inject; spec_jobs = spec }
+
+(* Test hook for the sandbox smoke job: the named pair allocates
+   OCTOPOCS_OOM_MB MiB (default 512) in its worker just before its
+   pipeline.  Under --isolate proc --rlimit-as below that figure the
+   child's allocation raises Out_of_memory, which the sandbox converts
+   into a classified OOM death; in Domain mode (no per-job rlimit
+   possible) the allocation simply succeeds and is dropped. *)
+let oom_pre_run =
+  match Sys.getenv_opt "OCTOPOCS_OOM_LABEL" with
+  | None -> None
+  | Some label ->
+      let mb =
+        match Sys.getenv_opt "OCTOPOCS_OOM_MB" with
+        | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 512)
+        | None -> 512
+      in
+      Some
+        (fun j ->
+          if Octopocs.job_label j = label then
+            ignore
+              (Sys.opaque_identity (Array.init mb (fun _ -> Bytes.make (1 lsl 20) 'x'))))
 
 type corpus_journal =
   | No_journal
@@ -276,14 +312,17 @@ let quarantine_journal_path ~journal_path ~shards ~quarantine_path =
       | Some dir when shards > 1 -> Some (Filename.concat dir "quarantine.jrnl")
       | _ -> None)
 
-let run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~journal_path ~resume ~shards
-    ~quarantine_path ~window ~poison ~spec ~metrics_on () =
+let run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~chaos_sites ~journal_path
+    ~resume ~shards ~quarantine_path ~window ~poison ~spec ~isolate ~limits ~mem_watermark
+    ~metrics_on () =
   match Source.of_spec corpus with
   | Error msg -> structured_error "%s" msg
   | Ok src ->
       let m0 = Metrics.aggregate () in
       let t0 = Unix.gettimeofday () in
-      let config_of label = config_for_label ~spec ~deadline ~chaos_seed ~poison label in
+      let config_of label =
+        config_for_label ~spec ~chaos_sites ~deadline ~chaos_seed ~poison label
+      in
       let qpath = quarantine_journal_path ~journal_path ~shards ~quarantine_path in
       (* Journal setup: a file for --shards 1, a shard directory otherwise.
          Fresh runs refuse to clobber either form. *)
@@ -337,7 +376,16 @@ let run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~journal_path ~resum
             match qpath with
             | None -> Ok None
             | Some p when resume ->
-                let w, records = Journal.open_resume ~path:p () in
+                (* The quarantine journal gets the main WAL's torn-tail
+                   recovery one level up: a frame that is CRC-valid but not
+                   a decodable OQR1 record (a crash half-through an
+                   overwrite can produce one) ends the valid prefix and is
+                   truncated away on resume, like a torn frame. *)
+                let w, records =
+                  Journal.open_resume
+                    ~validate:(fun payload -> Octopocs.decode_quarantine payload <> None)
+                    ~path:p ()
+                in
                 List.iter
                   (fun payload ->
                     match Octopocs.decode_quarantine payload with
@@ -457,22 +505,28 @@ let run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~journal_path ~resum
                            ~s:p.Source.ps ~t:p.Source.pt ~poc:p.Source.ppoc ()))
           in
           let st =
-            Octopocs.run_stream ~jobs ~retries ?window ~on_settle ~on_quarantine next_job
+            Octopocs.run_stream ~jobs ~retries ?window ~isolate ~limits
+              ?mem_watermark_mb:mem_watermark ?pre_run:oom_pre_run ~on_settle
+              ~on_quarantine next_job
           in
           close_jw ();
           (match qw with Some w -> Journal.close w | None -> ());
           let elapsed = Unix.gettimeofday () -. t0 in
-          say "corpus  : %s  pulled=%d settled=%d quarantined=%d cached=%d%s peak-in-flight=%d"
+          say "corpus  : %s  pulled=%d settled=%d quarantined=%d cached=%d%s peak-in-flight=%d deferred=%d"
             (Source.id src) st.Octopocs.st_pulled st.Octopocs.st_settled
             st.Octopocs.st_quarantined !ncached
             (if !nquar_prior > 0 then Printf.sprintf " quarantined-prior=%d" !nquar_prior
              else "")
-            st.Octopocs.st_peak_in_flight;
+            st.Octopocs.st_peak_in_flight st.Octopocs.st_deferrals;
           say "summary : %d triggered / %d not-triggerable / %d failure / %d crashed (%d cached, %d quarantined)"
             !triggered !not_trig !failures !crashed !ncached
             (st.Octopocs.st_quarantined + !nquar_prior);
           if !known > 0 then say "expected: %d/%d classes match" !matched !known;
-          say "%.3fs wall, %d worker domain(s)" elapsed (Octo_util.Pool.effective_jobs jobs);
+          say "%.3fs wall, %d worker %s" elapsed
+            (Octo_util.Pool.effective_jobs jobs)
+            (match isolate with
+            | Octopocs.Domains -> "domain(s)"
+            | Octopocs.Processes -> "process(es)");
           if metrics_on then begin
             let batch = Metrics.diff (Metrics.aggregate ()) m0 in
             say "pool    : retries=%d stalls=%d backoffs=%d"
@@ -483,12 +537,14 @@ let run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~journal_path ~resum
           !worst)
 
 let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall_grace trace
-    metrics_on provenance_on spec corpus shards quarantine_path window poison =
+    metrics_on provenance_on spec corpus shards quarantine_path window poison isolate
+    rlimit_as rlimit_cpu mem_watermark chaos_sites =
   warn_spec_provenance ~spec ~provenance:provenance_on;
   let streaming =
     corpus <> "registry" || shards > 1 || quarantine_path <> None || window <> None
     || poison <> None
   in
+  let limits = { Octo_util.Sandbox.as_mb = rlimit_as; cpu_s = rlimit_cpu } in
   if resume && journal_path = None then
     structured_error "--resume requires --journal PATH"
   else if shards < 1 then structured_error "--shards must be >= 1"
@@ -498,17 +554,30 @@ let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall
     structured_error "--fail-fast is not supported in streaming corpus mode"
   else if streaming && stall_grace <> None then
     structured_error "--stall-grace is not supported in streaming corpus mode"
+  else if isolate = Octopocs.Domains && (rlimit_as <> None || rlimit_cpu <> None) then
+    structured_error "--rlimit-as/--rlimit-cpu require --isolate proc"
+  else if isolate = Octopocs.Domains && mem_watermark <> None then
+    structured_error "--mem-watermark requires --isolate proc"
+  else if (not streaming) && mem_watermark <> None then
+    structured_error "--mem-watermark is only meaningful in streaming corpus mode"
+  else if isolate = Octopocs.Processes && stall_grace <> None then
+    structured_error
+      "--stall-grace is not supported with --isolate proc (the parent's deadline-kill \
+       covers wedged children)"
+  else if isolate = Octopocs.Processes && spec > 1 then
+    structured_error "--spec-jobs is not supported with --isolate proc"
   else if streaming then
     with_observability ~provenance:provenance_on ~trace ~metrics:metrics_on (fun () ->
-        run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~journal_path ~resume
-          ~shards ~quarantine_path ~window ~poison ~spec ~metrics_on ())
+        run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~chaos_sites ~journal_path
+          ~resume ~shards ~quarantine_path ~window ~poison ~spec ~isolate ~limits
+          ~mem_watermark ~metrics_on ())
   else begin
     with_observability ~provenance:provenance_on ~trace ~metrics:metrics_on @@ fun () ->
     (* Baseline for the batch's pool-level counters: metrics cells live for
        the whole process, so the batch view is a diff, not an absolute. *)
     let m0 = Metrics.aggregate () in
     let t0 = Unix.gettimeofday () in
-    let config_of idx = config_for ~spec ~deadline ~chaos_seed idx in
+    let config_of idx = config_for ~spec ~chaos_sites ~deadline ~chaos_seed idx in
     let key_of (c : Registry.case) =
       Octopocs.content_key ~config:(config_of c.idx) ~s:c.s ~t:c.t ~poc:c.poc ()
     in
@@ -575,8 +644,8 @@ let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall
             to_run
         in
         let fresh =
-          Octopocs.run_all ~jobs ~retries ?stall_grace_s:stall_grace ~fail_fast
-            ~on_settle batch
+          Octopocs.run_all ~jobs ~retries ?stall_grace_s:stall_grace ~fail_fast ~isolate
+            ~limits ?pre_run:oom_pre_run ~on_settle batch
         in
         (match writer with Some w -> Journal.close w | None -> ());
         let fresh_tbl = Hashtbl.create 31 in
@@ -630,10 +699,13 @@ let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall
         let ncached = List.length cached in
         say "summary : %d triggered / %d not-triggerable / %d failure / %d crashed (%d cached, %d skipped)"
           triggered not_trig failures crashed ncached skipped;
-        say "%d/%d pairs match the paper's verdicts (%.3fs wall, %d worker domain(s))"
+        say "%d/%d pairs match the paper's verdicts (%.3fs wall, %d worker %s)"
           (List.length results - !mismatches)
           (List.length results) elapsed
-          (Octo_util.Pool.effective_jobs jobs);
+          (Octo_util.Pool.effective_jobs jobs)
+          (match isolate with
+          | Octopocs.Domains -> "domain(s)"
+          | Octopocs.Processes -> "process(es)");
         (* Batch metrics: totals are the sum of the per-pair snapshots —
            i.e. exactly what the journal recorded — so the summary and a
            later `journal` dump agree by construction.  Pool retry/stall
@@ -731,6 +803,71 @@ let verify_all_cmd =
              ~doc:"Arm the worker-crash fault site at $(docv) (0.0-1.0) per pair, \
                    seeded per label — the poison-pair quarantine drill.")
   in
+  let isolate =
+    let mode_conv =
+      Arg.enum [ ("domain", Octopocs.Domains); ("proc", Octopocs.Processes) ]
+    in
+    Arg.(value & opt mode_conv Octopocs.Domains
+         & info [ "isolate" ] ~docv:"MODE"
+             ~doc:"Job isolation: $(b,domain) (default; worker domains in this \
+                   process) or $(b,proc) (one forked, rlimit-bounded child per pair \
+                   — a segfaulting or OOMing pair costs itself, never the batch).  \
+                   Verdicts and journal dumps are identical across modes.")
+  in
+  let rlimit_as =
+    Arg.(value & opt (some int) None
+         & info [ "rlimit-as" ] ~docv:"MB"
+             ~doc:"With --isolate proc: bound each child's address space at $(docv) \
+                   MiB (RLIMIT_AS).  A pair allocating past it dies with a \
+                   classified OOM failure and feeds the retry/quarantine ladder.")
+  in
+  let rlimit_cpu =
+    Arg.(value & opt (some int) None
+         & info [ "rlimit-cpu" ] ~docv:"SECS"
+             ~doc:"With --isolate proc: hard CPU-time backstop per child (RLIMIT_CPU \
+                   soft limit $(docv), hard $(docv)+1) behind the cooperative \
+                   --deadline.")
+  in
+  let mem_watermark =
+    Arg.(value & opt (some int) None
+         & info [ "mem-watermark" ] ~docv:"MB"
+             ~doc:"With --isolate proc (streaming): memory-pressure admission \
+                   control.  Past $(docv) MiB (parent RSS plus the worst observed \
+                   child RSS) the in-flight window halves and admissions defer, \
+                   reported as deferred=N in the corpus summary.")
+  in
+  let chaos_sites =
+    let site_conv =
+      let parse s =
+        match String.index_opt s '=' with
+        | None -> Error (`Msg "expected SITE=RATE")
+        | Some i -> (
+            let name = String.sub s 0 i in
+            let rate = String.sub s (i + 1) (String.length s - i - 1) in
+            match (Faultinject.site_of_name name, float_of_string_opt rate) with
+            | Some site, Some r when r >= 0.0 && r <= 1.0 -> Ok (site, r)
+            | None, _ ->
+                Error
+                  (`Msg
+                     (Printf.sprintf "unknown fault site %S (one of: %s)" name
+                        (String.concat ", "
+                           (List.map Faultinject.site_name Faultinject.all_sites))))
+            | Some _, _ -> Error (`Msg "RATE must be a float in [0,1]"))
+      in
+      let print ppf (site, r) =
+        Format.fprintf ppf "%s=%g" (Faultinject.site_name site) r
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(value & opt_all site_conv []
+         & info [ "chaos-site" ] ~docv:"SITE=RATE"
+             ~doc:"Arm one fault-injection site at an explicit per-check rate \
+                   (repeatable; e.g. --chaos-site child-segv=0.2).  Listed sites \
+                   fire at their rates, every other site stays silent; the schedule \
+                   is seeded by --chaos-seed (default seed otherwise).  Site names: \
+                   vm-syscall, solver-budget, worker-crash, deadline-expiry, \
+                   journal-write, worker-stall, child-segv, child-oom-kill.")
+  in
   Cmd.v
     (Cmd.info "verify-all" ~doc:"Verify all 15 pairs, or stream a corpus"
        ~man:
@@ -744,7 +881,8 @@ let verify_all_cmd =
          ])
     Term.(const run_all $ jobs $ retries $ deadline_arg $ chaos_seed_arg $ journal $ resume
           $ fail_fast $ stall_grace $ trace_arg $ metrics_arg $ provenance_arg
-          $ spec_jobs_arg $ corpus $ shards $ quarantine $ window $ poison)
+          $ spec_jobs_arg $ corpus $ shards $ quarantine $ window $ poison $ isolate
+          $ rlimit_as $ rlimit_cpu $ mem_watermark $ chaos_sites)
 
 (* ------------------------------------------------------------------ *)
 (* explain: render the causal evidence behind one verdict.  The live form
@@ -854,14 +992,11 @@ let dump_verdict_records records =
       | Some (label, key, rep) -> Hashtbl.replace tbl label (key, rep)
       | None -> incr undecodable)
     records;
-    let entries = Hashtbl.fold (fun l (k, rep) acc -> (l, k, rep) :: acc) tbl [] in
+    (* [sort_dump] orders by label then content key: the key tiebreak is
+       what keeps a merged sharded dump deterministic regardless of the
+       settle order that interleaved the shards. *)
     let entries =
-      List.sort
-        (fun (a, _, _) (b, _, _) ->
-          match (int_of_string_opt a, int_of_string_opt b) with
-          | Some x, Some y -> compare x y
-          | _ -> compare a b)
-        entries
+      Octopocs.sort_dump (Hashtbl.fold (fun l (k, rep) acc -> (l, k, rep) :: acc) tbl [])
     in
     List.iter
       (fun (label, key, (rep : Octopocs.report)) ->

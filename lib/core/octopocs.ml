@@ -30,6 +30,7 @@ module Clone = Octo_clone.Clone
 module Deadline = Octo_util.Deadline
 module Faultinject = Octo_util.Faultinject
 module Metrics = Octo_util.Metrics
+module Sandbox = Octo_util.Sandbox
 module Trace = Octo_util.Trace
 module Provenance = Provenance
 
@@ -749,6 +750,15 @@ let job ?ell ?config ~label ~s ~t ~poc () =
 
 let job_label (j : job) = j.label
 
+(* How batch/stream drivers isolate one job from its batch-mates.
+   [Domains] (the default, the historical behaviour) runs jobs on worker
+   domains in this process: crash containment is exception-level, so a
+   native fault (segfault, OOM) in one job kills the whole batch.
+   [Processes] forks one rlimit-bounded child per job: the blast radius
+   of any fault is the child, and the parent classifies its death into a
+   structured failure. *)
+type isolation = Domains | Processes
+
 (* ------------------------------------------------------------------ *)
 (* Verdict cache keys. *)
 
@@ -1055,12 +1065,13 @@ let is_skipped_report (r : report) =
     settles (completion order, from worker context — the write-ahead
     journal hooks in here); [run_all] returns only after every callback
     has finished. *)
-let run_all ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?stall_grace_s
-    ?(fail_fast = false) ?on_settle (batch : job list) : (string * report) list =
+let run_all_domains ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?stall_grace_s
+    ?(fail_fast = false) ?pre_run ?on_settle (batch : job list) : (string * report) list =
   let stop = Atomic.make false in
   let one j =
     if fail_fast && Atomic.get stop then failure_report skipped_failure_msg
     else begin
+      (match pre_run with None -> () | Some f -> f j);
       let cfg = Option.value j.jconfig ~default:config in
       (* The chaos harness's synthetic worker faults fire *outside* run's
          containment on purpose: crash exercises the pool's crash
@@ -1171,7 +1182,237 @@ type stream_stats = {
   st_settled : int;  (** jobs that produced a verdict (on_settle fired) *)
   st_quarantined : int;  (** jobs handed to [on_quarantine] *)
   st_peak_in_flight : int;  (** high-water mark of concurrently held jobs *)
+  st_deferrals : int;
+      (** admission-deferral episodes: times the process-mode memory
+          controller paused admissions under pressure (always 0 in
+          Domain isolation) *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Process-isolated streaming scheduler.
+
+   Single-domain by construction: OCaml 5.1 refuses [Unix.fork]
+   permanently once any domain has EVER been spawned in the process (the
+   restriction latches; joining does not lift it), so this scheduler
+   spawns NO worker domains — its parallelism is process-level,
+   multiplexing child pipes over one select loop — and callers must
+   reach it before the process's first Domain-mode batch.  The shared
+   pool is still shut down defensively on entry: on runtimes that only
+   require a single-domain process at fork time, that is what restores
+   forkability. *)
+
+type proc_active = {
+  ac : Sandbox.child;
+  aj : job;
+  ak : int;  (* 0-based attempt number *)
+  adeferred : bool;  (* admission was deferred under pressure *)
+}
+
+(* What a sandboxed child runs: the same worker body as the Domain-mode
+   drivers (pre-run hook, synthetic worker faults, the pipeline), with
+   the settled report encoded onto the pipe as the child's one frame.
+   Exceptions deliberately escape into [Sandbox.spawn]'s transport so
+   the parent's retry ladder sees them, mirroring how Domain mode lets
+   them escape into the pool's crash isolation. *)
+let run_child_payload cfg ~key pre_run j () =
+  (match pre_run with None -> () | Some f -> f j);
+  Faultinject.maybe_raise cfg.inject Faultinject.Worker_crash
+    ~what:"synthetic worker exception";
+  if Faultinject.fire cfg.inject Faultinject.Worker_stall then begin
+    Unix.sleepf 0.25;
+    raise (Faultinject.Injected "worker-stall: synthetic wedged worker")
+  end;
+  let r = run ~config:cfg ?ell:j.jell ~s:j.js ~t:j.jt ~poc:j.jpoc () in
+  encode_result ~label:j.label ~key r
+
+let proc_stream ~(config : config) ~retries ~window ?limits ?mem_watermark_mb ?pre_run
+    ?on_settle ?on_quarantine (next : unit -> job option) : stream_stats =
+  Octo_util.Pool.shutdown_shared ();
+  let limits = Option.value limits ~default:Sandbox.no_limits in
+  let adm = Sandbox.Admission.create ?watermark_mb:mem_watermark_mb ~window () in
+  let pulled = ref 0 and settled = ref 0 and quarantined = ref 0 in
+  let peak = ref 0 and deferrals = ref 0 in
+  (* [deferring] marks an open pressure episode: one episode counts one
+     deferral however many loop iterations it spans, and the first job
+     admitted out of it carries the "admission-deferred" degradation. *)
+  let deferring = ref false in
+  let active : proc_active list ref = ref [] in
+  (* Respawns take priority over fresh pulls so a retried pair cannot be
+     starved by an endless source. *)
+  let pending : (job * int * bool) Queue.t = Queue.create () in
+  let exhausted_src = ref false in
+  let settle_cb j r =
+    incr settled;
+    match on_settle with
+    | None -> ()
+    | Some f -> (
+        try f j r
+        with e ->
+          Logs.err (fun m ->
+              m "run_stream: on_settle for %s raised %s" j.label (Printexc.to_string e)))
+  in
+  let spawn_job (j, k, was_deferred) =
+    let cfg = Option.value j.jconfig ~default:config in
+    (* Child-death faults are drawn by the PARENT, pre-fork: each retry
+       advances the injector stream, so a seeded schedule can kill the
+       first attempt and let the retry survive — deterministically. *)
+    let die =
+      if Faultinject.fire cfg.inject Faultinject.Child_segv then `Segv
+      else if Faultinject.fire cfg.inject Faultinject.Child_oom_kill then `Oom_kill
+      else `None
+    in
+    (* The wall-clock kill is a hard backstop well behind the cooperative
+       deadline (which already absorbs ladder climbs); no per-job deadline
+       means the parent never kills on time. *)
+    let kill_after_s = Option.map (fun d -> (d *. 4.0) +. 1.0) cfg.deadline_s in
+    let key = job_key ~config j in
+    let c = Sandbox.spawn ~limits ?kill_after_s ~die (run_child_payload cfg ~key pre_run j) in
+    active := { ac = c; aj = j; ak = k; adeferred = was_deferred } :: !active;
+    let n = List.length !active in
+    if n > !peak then peak := n
+  in
+  let retry_or_quarantine e ~reason ~message ~rung =
+    let j = e.aj and k = e.ak in
+    if k < retries then begin
+      Metrics.incr Metrics.Pool_retries;
+      Logs.warn (fun m ->
+          m "run_stream: %s child died (%s: %s); retrying (%d/%d)" j.label reason message
+            (k + 1) retries);
+      Octo_util.Pool.backoff_sleep ~key:(Hashtbl.hash j.label) ~attempt:(k + 1) ();
+      Queue.add (j, k + 1, e.adeferred) pending
+    end
+    else
+      match on_quarantine with
+      | Some f -> (
+          let q =
+            {
+              qlabel = j.label;
+              qkey = job_key ~config j;
+              qreason = reason;
+              qmessage = message;
+              qbacktrace = "";  (* died in another address space: no backtrace *)
+              qattempts = k + 1;
+            }
+          in
+          incr quarantined;
+          try f q
+          with qe ->
+            Logs.err (fun m ->
+                m "run_stream: on_quarantine for %s raised %s" j.label
+                  (Printexc.to_string qe)))
+      | None ->
+          (* Settle like Domain mode, but with the death classification as
+             a provenance rung so `explain` shows WHY the child died. *)
+          let provenance =
+            if Provenance.is_on () then
+              Some
+                {
+                  Provenance.events = [ Provenance.Rung { rung; failure = message } ];
+                  dropped = 0;
+                }
+            else None
+          in
+          settle_cb j { (failure_report (reason ^ ": " ^ message)) with provenance }
+  in
+  let handle_death e (death, maxrss_kb) =
+    Sandbox.Admission.note_child_rss adm maxrss_kb;
+    match death with
+    | Sandbox.Clean payload -> (
+        match decode_result payload with
+        | Some (_, _, r) ->
+            let r =
+              if e.adeferred then
+                { r with degradations = r.degradations @ [ "admission-deferred" ] }
+              else r
+            in
+            settle_cb e.aj r
+        | None ->
+            retry_or_quarantine e ~reason:"worker crashed"
+              ~message:"child returned an undecodable verdict frame" ~rung:"child-torn")
+    | Sandbox.Child_exn msg ->
+        (* The transported exception is already printed; the injected
+           stall site's marker survives as "Injected(worker-stall: ...)". *)
+        let is_stall =
+          let p = "Injected(worker-stall" in
+          String.length msg >= String.length p && String.sub msg 0 (String.length p) = p
+        in
+        let reason = if is_stall then "worker stalled" else "worker crashed" in
+        retry_or_quarantine e ~reason ~message:msg ~rung:"child-exn"
+    | Sandbox.Segv ->
+        retry_or_quarantine e ~reason:"worker crashed" ~message:"child segfaulted (SIGSEGV)"
+          ~rung:"child-segv"
+    | Sandbox.Oom why ->
+        retry_or_quarantine e ~reason:"oom" ~message:("child out of memory: " ^ why)
+          ~rung:"child-oom"
+    | Sandbox.Cpu ->
+        retry_or_quarantine e ~reason:"worker crashed"
+          ~message:"child exceeded RLIMIT_CPU (SIGXCPU)" ~rung:"child-cpu"
+    | Sandbox.Deadline_kill ->
+        retry_or_quarantine e ~reason:"worker stalled"
+          ~message:"child killed by parent at deadline" ~rung:"child-deadline-kill"
+    | Sandbox.Torn why ->
+        retry_or_quarantine e ~reason:"worker crashed"
+          ~message:("child pipe protocol torn: " ^ why) ~rung:"child-torn"
+    | Sandbox.Other why ->
+        retry_or_quarantine e ~reason:"worker crashed"
+          ~message:("child died unexpectedly: " ^ why) ~rung:"child-other"
+  in
+  let try_admit () =
+    let stop = ref false in
+    while not !stop do
+      let have_pending = not (Queue.is_empty pending) in
+      if (not have_pending) && !exhausted_src then stop := true
+      else
+        match Sandbox.Admission.admit adm ~in_flight:(List.length !active) with
+        | `Defer `Full -> stop := true
+        | `Defer `Pressure ->
+            if not !deferring then begin
+              deferring := true;
+              incr deferrals;
+              Metrics.incr Metrics.Admission_deferrals
+            end;
+            stop := true
+        | `Admit -> (
+            let was_deferred = !deferring in
+            deferring := false;
+            if have_pending then spawn_job (Queue.pop pending)
+            else
+              match next () with
+              | None -> exhausted_src := true
+              | Some j ->
+                  incr pulled;
+                  spawn_job (j, 0, was_deferred))
+    done
+  in
+  let rec loop () =
+    try_admit ();
+    if !active = [] && Queue.is_empty pending && !exhausted_src then ()
+    else begin
+      List.iter (fun e -> if Sandbox.deadline_expired e.ac then Sandbox.kill e.ac) !active;
+      let fds = List.map (fun e -> Sandbox.fd e.ac) !active in
+      let readable =
+        match Unix.select fds [] [] 0.05 with
+        | r, _, _ -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+      in
+      let finished, still =
+        List.partition
+          (fun e -> List.memq (Sandbox.fd e.ac) readable && Sandbox.drain e.ac)
+          !active
+      in
+      active := still;
+      List.iter (fun e -> handle_death e (Sandbox.reap e.ac)) finished;
+      loop ()
+    end
+  in
+  loop ();
+  {
+    st_pulled = !pulled;
+    st_settled = !settled;
+    st_quarantined = !quarantined;
+    st_peak_in_flight = !peak;
+    st_deferrals = !deferrals;
+  }
 
 (** [run_stream ?config ?jobs ?retries ?window ?on_settle ?on_quarantine
     next] verifies a stream of jobs pulled lazily from [next] — the
@@ -1203,11 +1444,21 @@ type stream_stats = {
     [on_settle job report] and [on_quarantine q] fire exactly once per
     job, from worker context, in completion order; [run_stream] returns
     only after every callback has finished. *)
-let run_stream ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?window ?on_settle
-    ?on_quarantine (next : unit -> job option) : stream_stats =
+let run_stream ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?window
+    ?(isolate = Domains) ?limits ?mem_watermark_mb ?pre_run ?on_settle ?on_quarantine
+    (next : unit -> job option) : stream_stats =
   let jobs = Octo_util.Pool.effective_jobs jobs in
+  (* In process isolation the window IS the concurrency: one child per
+     admitted job, so the Domain-mode default (twice the workers) carries
+     over as "up to 2*jobs live children". *)
   let window = match window with Some w -> max 1 w | None -> max 4 (2 * jobs) in
+  match isolate with
+  | Processes ->
+      proc_stream ~config ~retries ~window ?limits ?mem_watermark_mb ?pre_run ?on_settle
+        ?on_quarantine next
+  | Domains ->
   let one j =
+    (match pre_run with None -> () | Some f -> f j);
     let cfg = Option.value j.jconfig ~default:config in
     Faultinject.maybe_raise cfg.inject Faultinject.Worker_crash
       ~what:"synthetic worker exception";
@@ -1302,6 +1553,7 @@ let run_stream ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?window ?on
       st_settled = !settled;
       st_quarantined = !quarantined;
       st_peak_in_flight = (if !pulled = 0 then 0 else 1);
+      st_deferrals = 0;
     }
   end
   else begin
@@ -1379,5 +1631,82 @@ let run_stream ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?window ?on
       st_settled = !settled;
       st_quarantined = !quarantined;
       st_peak_in_flight = !peak;
+      st_deferrals = 0;
     }
   end
+
+(* ------------------------------------------------------------------ *)
+(* Process-isolated batch verification: the fixed batch streamed through
+   [proc_stream] with the worker count as the window.  Exhausted retry
+   budgets settle as failures (run_all has no quarantine channel), and
+   fail-fast stops pulling once any pair settles as a Failure —
+   in-flight children still complete, like Domain mode's started jobs. *)
+let run_all_proc ~(config : config) ~jobs ~retries ~fail_fast ?limits ?pre_run ?on_settle
+    (batch : job list) : (string * report) list =
+  let stop = Atomic.make false in
+  let remaining = ref batch in
+  let next () =
+    if fail_fast && Atomic.get stop then None
+    else
+      match !remaining with
+      | [] -> None
+      | j :: rest ->
+          remaining := rest;
+          Some j
+  in
+  (* Results are keyed by physical job identity, not label, so duplicate
+     labels in one batch cannot cross their reports. *)
+  let results : (job * report) list ref = ref [] in
+  let settle j r =
+    (match r.verdict with Failure _ -> Atomic.set stop true | _ -> ());
+    results := (j, r) :: !results;
+    match on_settle with None -> () | Some f -> f j.label r
+  in
+  let window = max 1 (Octo_util.Pool.effective_jobs jobs) in
+  let (_ : stream_stats) =
+    proc_stream ~config ~retries ~window ?limits ?pre_run ~on_settle:settle next
+  in
+  List.map
+    (fun j ->
+      match List.find_opt (fun (j', _) -> j' == j) !results with
+      | Some (_, r) -> (j.label, r)
+      | None -> (j.label, failure_report skipped_failure_msg))
+    batch
+
+(* The public batch entry point: Domain isolation is the default and
+   byte-identical to the historical behaviour; [~isolate:Processes]
+   forks one rlimit-bounded child per job.  [stall_grace_s] is inert
+   under process isolation — the parent's wall-clock deadline-kill
+   subsumes the heartbeat watchdog. *)
+let run_all ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?stall_grace_s
+    ?(fail_fast = false) ?(isolate = Domains) ?limits ?pre_run ?on_settle
+    (batch : job list) : (string * report) list =
+  match isolate with
+  | Domains ->
+      run_all_domains ~config ~jobs ~retries ?stall_grace_s ~fail_fast ?pre_run ?on_settle
+        batch
+  | Processes ->
+      ignore stall_grace_s;
+      run_all_proc ~config ~jobs ~retries ~fail_fast ?limits ?pre_run ?on_settle batch
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic dump ordering. *)
+
+(* Registry labels are integers-as-strings; compare those numerically so
+   "10" sorts after "9", everything else lexicographically. *)
+let compare_labels a b =
+  match (int_of_string_opt a, int_of_string_opt b) with
+  | Some x, Some y -> compare x y
+  | _ -> compare a b
+
+(** [sort_dump entries] orders decoded journal records [(label, key, _)]
+    for display: label (numeric-aware), then content key.  The key
+    tiebreak is what makes a merged sharded dump deterministic — shard
+    interleave depends on settle order, and one label can legitimately
+    appear under several keys (config changes across resumes), so label
+    alone would leave the order timing-dependent. *)
+let sort_dump entries =
+  List.sort
+    (fun (l1, k1, _) (l2, k2, _) ->
+      match compare_labels l1 l2 with 0 -> compare k1 k2 | c -> c)
+    entries

@@ -240,11 +240,33 @@ val decode_result : string -> (string * string * report) option
     [run_all ~fail_fast:true] returns for pairs it never started. *)
 val is_skipped_report : report -> bool
 
-(** [run_all ?config ?jobs ?retries ?stall_grace_s ?fail_fast ?on_settle
-    batch] verifies every pair of [batch], fanning the work out over a
-    fixed pool of [jobs] worker domains ({!Octo_util.Pool}); [jobs <= 1]
-    (the default) runs serially in the calling domain.  Results are
-    returned in input order, labelled.
+(** How batch/stream drivers isolate one job from its batch-mates.
+
+    [Domains] (the default, the historical behaviour) runs jobs on
+    worker domains in this process; crash containment is
+    exception-level, so a native fault — a real segfault, or an OOM
+    kill — in one job takes down the whole batch.
+
+    [Processes] forks one child per job under optional [setrlimit]
+    bounds ({!Octo_util.Sandbox.limits}) and classifies every way the
+    child can die (clean verdict, exception, SIGSEGV, OOM, RLIMIT_CPU,
+    parent deadline-kill, torn pipe protocol) into a structured
+    [Failure] — the blast radius of any fault is one child.  Process
+    mode runs single-domain in the parent with process-level
+    parallelism instead, and must be the process's first parallel
+    work: OCaml 5.1 refuses [Unix.fork] permanently once any domain
+    has ever been spawned, so never run a Domain-mode batch before a
+    Processes one in the same process.  Verdicts and journal dumps are
+    identical to Domain mode by construction. *)
+type isolation = Domains | Processes
+
+(** [run_all ?config ?jobs ?retries ?stall_grace_s ?fail_fast ?isolate
+    ?limits ?pre_run ?on_settle batch] verifies every pair of [batch],
+    fanning the work out over a fixed pool of [jobs] worker domains
+    ({!Octo_util.Pool}) — or, with [~isolate:Processes], over up to
+    [jobs] concurrently forked children; [jobs <= 1] (the default) runs
+    serially in the calling domain (one child at a time under process
+    isolation).  Results are returned in input order, labelled.
 
     Crash isolation: a job whose worker raises — after [retries] (default
     0) additional attempts — yields [(label, Failure "worker crashed:
@@ -266,13 +288,24 @@ val is_skipped_report : report -> bool
     [on_settle label report] fires exactly once per non-skipped job, in
     completion order, from worker context; [run_all] returns only after
     every callback finishes.  The CLI's write-ahead journaling hooks in
-    here. *)
+    here.
+
+    [limits] bounds each child under [~isolate:Processes] (ignored in
+    Domain mode, where no rlimit can be scoped to one job);
+    [stall_grace_s] is inert under process isolation, where the
+    parent's wall-clock deadline-kill subsumes the heartbeat watchdog.
+    [pre_run job] runs in the worker (the child, under process
+    isolation) just before the job's pipeline — the hook the CLI uses
+    to plant a deliberate allocation for sandbox smoke tests. *)
 val run_all :
   ?config:config ->
   ?jobs:int ->
   ?retries:int ->
   ?stall_grace_s:float ->
   ?fail_fast:bool ->
+  ?isolate:isolation ->
+  ?limits:Octo_util.Sandbox.limits ->
+  ?pre_run:(job -> unit) ->
   ?on_settle:(string -> report -> unit) ->
   job list ->
   (string * report) list
@@ -307,6 +340,10 @@ type stream_stats = {
   st_settled : int;  (** jobs that produced a verdict ([on_settle] fired) *)
   st_quarantined : int;  (** jobs handed to [on_quarantine] *)
   st_peak_in_flight : int;  (** high-water mark of concurrently held jobs *)
+  st_deferrals : int;
+      (** admission-deferral episodes: times the process-mode memory
+          controller paused admissions under pressure (always 0 in
+          Domain isolation) *)
 }
 
 (** [run_stream ?config ?jobs ?retries ?window ?on_settle ?on_quarantine
@@ -329,13 +366,49 @@ type stream_stats = {
 
     [on_settle job report] and [on_quarantine q] fire exactly once per
     job, from worker context, in completion order; [run_stream] returns
-    only after every callback has finished. *)
+    only after every callback has finished.
+
+    With [~isolate:Processes] every job runs in a forked child under
+    [limits] ({!Octo_util.Sandbox.limits}); the admission window IS the
+    concurrency (one child per admitted job, so the default carries
+    over as up to [2 * jobs] live children).  Child deaths — SIGSEGV,
+    OOM (the child's own [Out_of_memory] under RLIMIT_AS or a kernel
+    OOM SIGKILL), RLIMIT_CPU expiry, parent deadline-kill (a hard
+    wall-clock backstop at four times [config.deadline_s] plus one
+    second), torn pipe frames — feed the same retry → quarantine ladder
+    as Domain-mode crashes, with the classification as the quarantine
+    reason ([qreason = "oom"] for memory deaths) or, absent
+    [on_quarantine], as a structured [Failure] carrying one provenance
+    [Rung] naming the death.  [mem_watermark_mb] arms the
+    memory-pressure admission controller: past the watermark (parent
+    RSS plus worst observed child RSS) the in-flight window halves and
+    admissions defer, counted in [st_deferrals] and recorded as an
+    ["admission-deferred"] degradation on the next admitted job.
+    [pre_run job] runs in the child just before the pipeline.
+
+    Fork safety: process mode spawns no domains and must run before
+    the process's first Domain-mode work — OCaml 5.1 refuses
+    [Unix.fork] permanently once any domain has ever been spawned
+    (joining does not lift the restriction).  The shared pool is still
+    shut down defensively on entry. *)
 val run_stream :
   ?config:config ->
   ?jobs:int ->
   ?retries:int ->
   ?window:int ->
+  ?isolate:isolation ->
+  ?limits:Octo_util.Sandbox.limits ->
+  ?mem_watermark_mb:int ->
+  ?pre_run:(job -> unit) ->
   ?on_settle:(job -> report -> unit) ->
   ?on_quarantine:(quarantine -> unit) ->
   (unit -> job option) ->
   stream_stats
+
+(** [sort_dump entries] orders decoded journal records [(label, key, v)]
+    for display: label (numeric-aware, so registry pair "10" sorts after
+    "9"), then content key as a tiebreak.  The tiebreak is what makes a
+    merged sharded dump deterministic: shard interleave depends on
+    settle order, and one label can appear under several keys across
+    resumed runs with changed budgets. *)
+val sort_dump : (string * string * 'a) list -> (string * string * 'a) list

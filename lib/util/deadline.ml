@@ -39,6 +39,14 @@ let after ~seconds =
 
 let expired t = (not (is_none t)) && Int64.compare (monotonic_ns ()) t.expires_at >= 0
 
+(** [ns_after ~seconds] is the absolute monotonic-clock reading [seconds]
+    from now — the raw form of {!after} for supervisors that compare many
+    expiry points against one clock sample (the process sandbox's parent
+    loop) instead of polling {!check} per deadline. *)
+let ns_after ~seconds =
+  if seconds < 0. then invalid_arg "Deadline.ns_after: negative budget";
+  Int64.add (monotonic_ns ()) (Int64.of_float (seconds *. 1e9))
+
 (** [check t ~what] raises {!Deadline_exceeded} when the budget is spent.
     One monotonic-clock read; callers gate it on a step counter so the cost
     stays out of hot loops. *)

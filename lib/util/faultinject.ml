@@ -27,7 +27,14 @@
       (checked in {!Journal.append}).
     - {!Worker_stall}: a worker wedges instead of crashing — the job sleeps
       past any watchdog grace before failing (checked in
-      [Octopocs.run_all]'s worker wrapper, like {!Worker_crash}). *)
+      [Octopocs.run_all]'s worker wrapper, like {!Worker_crash}).
+    - {!Child_segv}: a sandboxed worker process dies of SIGSEGV before
+      producing a verdict (drawn by the parent supervisor before each
+      fork, so retries advance the stream deterministically).
+    - {!Child_oom_kill}: a sandboxed worker process is SIGKILLed as if by
+      the kernel OOM killer (drawn like {!Child_segv}).  Both child sites
+      are inert in Domain isolation — only the process sandbox checks
+      them. *)
 
 type site =
   | Vm_syscall
@@ -36,6 +43,8 @@ type site =
   | Deadline_expiry
   | Journal_write
   | Worker_stall
+  | Child_segv
+  | Child_oom_kill
 
 exception Injected of string
 
@@ -45,9 +54,22 @@ let () =
     | _ -> None)
 
 let all_sites =
-  [ Vm_syscall; Solver_budget; Worker_crash; Deadline_expiry; Journal_write; Worker_stall ]
+  [
+    Vm_syscall;
+    Solver_budget;
+    Worker_crash;
+    Deadline_expiry;
+    Journal_write;
+    Worker_stall;
+    Child_segv;
+    Child_oom_kill;
+  ]
 
-let nsites = 6
+(* The two child sites were appended at indices 6 and 7: [create] derives
+   per-site streams from the master in index order, so appending (never
+   reordering) keeps every pre-existing site's stream — and therefore
+   every recorded chaos schedule — bit-identical across the change. *)
+let nsites = 8
 
 let site_index = function
   | Vm_syscall -> 0
@@ -56,6 +78,8 @@ let site_index = function
   | Deadline_expiry -> 3
   | Journal_write -> 4
   | Worker_stall -> 5
+  | Child_segv -> 6
+  | Child_oom_kill -> 7
 
 let site_name = function
   | Vm_syscall -> "vm-syscall"
@@ -64,6 +88,13 @@ let site_name = function
   | Deadline_expiry -> "deadline-expiry"
   | Journal_write -> "journal-write"
   | Worker_stall -> "worker-stall"
+  | Child_segv -> "child-segv"
+  | Child_oom_kill -> "child-oom-kill"
+
+(** [site_of_name name] maps a CLI-facing site name (e.g. ["child-segv"])
+    back to its site; [None] for unknown names — the caller owns the
+    user-facing error. *)
+let site_of_name name = List.find_opt (fun s -> site_name s = name) all_sites
 
 type t =
   | Off

@@ -74,7 +74,14 @@ let u32le_at data off =
   lor (Char.code data.[off + 2] lsl 16)
   lor (Char.code data.[off + 3] lsl 24)
 
-let parse data =
+(* [?validate] extends the recovery rule one level up the stack: a frame
+   whose CRC matches but whose payload the caller's decoder rejects is
+   treated exactly like a torn frame — it ends the valid prefix.  This is
+   what gives the quarantine journal (and any other single-codec journal)
+   WAL-grade torn-tail semantics at the payload level: a record half
+   overwritten by a crashed writer that happened to frame cleanly cannot
+   silently poison the tail it precedes. *)
+let parse ?(validate = fun (_ : string) -> true) data =
   let n = String.length data in
   let hl = String.length header in
   if n < hl || String.sub data 0 hl <> header then
@@ -102,7 +109,7 @@ let parse data =
         end
         else begin
           let payload = String.sub data (!pos + 8) len in
-          if crc32 payload <> crc then begin
+          if crc32 payload <> crc || not (validate payload) then begin
             torn := true;
             stop := true
           end
@@ -116,9 +123,10 @@ let parse data =
     { records = List.rev !records; valid_bytes = !pos; torn = !torn }
   end
 
-(** [replay path] scans the journal tolerantly.  A missing file is an empty
-    journal; a torn or corrupt tail is dropped, never raised on. *)
-let replay path =
+(** [replay ?validate path] scans the journal tolerantly.  A missing file
+    is an empty journal; a torn or corrupt tail — including a CRC-valid
+    frame that [validate] rejects — is dropped, never raised on. *)
+let replay ?validate path =
   if not (Sys.file_exists path) then { records = []; valid_bytes = 0; torn = false }
   else begin
     let ic = open_in_bin path in
@@ -127,7 +135,7 @@ let replay path =
         ~finally:(fun () -> close_in_noerr ic)
         (fun () -> really_input_string ic (in_channel_length ic))
     in
-    parse data
+    parse ?validate data
   end
 
 (* ------------------------------------------------------------------ *)
@@ -172,12 +180,14 @@ let create ?inject ?fsync ~path () =
   Unix.fsync fd;
   mk_writer ?inject ?fsync fd
 
-(** [open_resume ?inject ?fsync ~path ()] reopens an existing journal for
-    appending: replays it, truncates a torn tail back to the last valid
-    frame, and returns the writer positioned at the end together with the
-    recovered records.  A missing file starts a fresh journal. *)
-let open_resume ?inject ?fsync ~path () =
-  let r = replay path in
+(** [open_resume ?inject ?fsync ?validate ~path ()] reopens an existing
+    journal for appending: replays it, truncates a torn tail back to the
+    last valid frame ([validate]-rejected records end the valid prefix
+    like torn ones, so the truncation also repairs payload-level
+    corruption), and returns the writer positioned at the end together
+    with the recovered records.  A missing file starts a fresh journal. *)
+let open_resume ?inject ?fsync ?validate ~path () =
+  let r = replay ?validate path in
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
   if r.valid_bytes = 0 then begin
     (* Fresh, empty, or headerless-garbage file: start over. *)

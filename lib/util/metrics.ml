@@ -66,8 +66,11 @@ type counter =
   | Pool_retries  (** worker crash/stall retries (requeues) *)
   | Pool_stalls  (** tasks settled as Stalled by the watchdog *)
   | Pool_backoffs  (** backoff sleeps taken before a crash-retry *)
+  | Admission_deferrals
+      (** admissions deferred by the memory-pressure controller (the
+          streaming driver shrank its in-flight window past a watermark) *)
 
-let ncounters = 9
+let ncounters = 10
 
 let all_counters =
   [
@@ -80,6 +83,7 @@ let all_counters =
     Pool_retries;
     Pool_stalls;
     Pool_backoffs;
+    Admission_deferrals;
   ]
 
 let counter_index = function
@@ -92,6 +96,7 @@ let counter_index = function
   | Pool_retries -> 6
   | Pool_stalls -> 7
   | Pool_backoffs -> 8
+  | Admission_deferrals -> 9
 
 let counter_name = function
   | Vm_steps -> "vm-steps"
@@ -103,6 +108,7 @@ let counter_name = function
   | Pool_retries -> "pool-retries"
   | Pool_stalls -> "pool-stalls"
   | Pool_backoffs -> "pool-backoffs"
+  | Admission_deferrals -> "admission-deferrals"
 
 (* -- snapshots / cells ------------------------------------------------- *)
 

@@ -281,6 +281,22 @@ let shared () =
   Mutex.unlock shared_lock;
   p
 
+(** [shutdown_shared ()] joins the shared pool's domains (no-op when it
+    was never created) and forgets it, so a later {!shared} builds a
+    fresh one.  The process sandbox calls this defensively before its
+    first fork.  Note the stronger truth on OCaml 5.1: [Unix.fork] is
+    refused permanently once any domain has EVER been spawned (the
+    check latches — joining does not lift it), so forking drivers must
+    run before the process's first domain; this shutdown only helps on
+    runtimes that merely require a single-domain process at fork
+    time. *)
+let shutdown_shared () =
+  Mutex.lock shared_lock;
+  let p = !shared_ref in
+  shared_ref := None;
+  Mutex.unlock shared_lock;
+  Option.iter shutdown p
+
 (* ------------------------------------------------------------------ *)
 (* Crash-retry backoff. *)
 

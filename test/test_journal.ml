@@ -618,6 +618,89 @@ let sharded_kill_resume_equivalence () =
           let resumed = decoded_set (Sharded.replay_merged dir2).Sharded.mrecords in
           check Alcotest.bool "resumed == uninterrupted" true (reference = resumed)))
 
+(* ------------------------------------------------------------------ *)
+(* Validated recovery (quarantine journal) and dump ordering *)
+
+let quar label =
+  {
+    Octopocs.qlabel = label;
+    qkey = "k-" ^ label;
+    qreason = "oom";
+    qmessage = "child out of memory";
+    qbacktrace = "";
+    qattempts = 2;
+  }
+
+let is_quarantine p = Octopocs.decode_quarantine p <> None
+
+let journal_validate_rejects_wellformed_frame () =
+  (* A CRC-valid frame whose payload fails [validate] ends the valid
+     prefix exactly like a torn frame: past a record the reader cannot
+     interpret, frame boundaries are untrusted. *)
+  with_tmp (fun path ->
+      let w = Journal.create ~path () in
+      Journal.append w (Octopocs.encode_quarantine (quar "7"));
+      Journal.append w "not a quarantine record";
+      Journal.append w (Octopocs.encode_quarantine (quar "9"));
+      Journal.close w;
+      let r = Journal.replay ~validate:is_quarantine path in
+      check Alcotest.int "prefix of one record" 1 (List.length r.Journal.records);
+      check Alcotest.bool "flagged torn" true r.Journal.torn)
+
+let quarantine_resume_truncates_foreign_tail () =
+  (* open_resume with the quarantine validator treats a CRC-valid but
+     non-OQR1 tail like a tear: truncate to the last decodable record,
+     then append cleanly — same recovery rule as the main WAL. *)
+  with_tmp (fun path ->
+      let w = Journal.create ~path () in
+      Journal.append w (Octopocs.encode_quarantine (quar "3"));
+      Journal.append w (Octopocs.encode_quarantine (quar "5"));
+      Journal.append w "OPR1 payload that is not a quarantine record";
+      Journal.close w;
+      let w2, recovered = Journal.open_resume ~validate:is_quarantine ~path () in
+      check Alcotest.int "valid prefix recovered" 2 (List.length recovered);
+      Journal.append w2 (Octopocs.encode_quarantine (quar "8"));
+      Journal.close w2;
+      let r = Journal.replay ~validate:is_quarantine path in
+      check Alcotest.bool "no longer torn" false r.Journal.torn;
+      let labels =
+        List.filter_map Octopocs.decode_quarantine r.Journal.records
+        |> List.map (fun q -> q.Octopocs.qlabel)
+      in
+      check Alcotest.(list string) "records after repair" [ "3"; "5"; "8" ] labels)
+
+let quarantine_resume_truncates_torn_tail () =
+  with_tmp (fun path ->
+      let w = Journal.create ~path () in
+      Journal.append w (Octopocs.encode_quarantine (quar "1"));
+      Journal.close w;
+      (* a kill mid-append: header promises bytes that never arrived *)
+      append_raw path "\x40\x00\x00\x00\x99\x99\x99\x99partial";
+      let w2, recovered = Journal.open_resume ~validate:is_quarantine ~path () in
+      check Alcotest.int "prefix recovered" 1 (List.length recovered);
+      Journal.append w2 (Octopocs.encode_quarantine (quar "2"));
+      Journal.close w2;
+      let labels =
+        List.filter_map Octopocs.decode_quarantine (Journal.replay path).Journal.records
+        |> List.map (fun q -> q.Octopocs.qlabel)
+      in
+      check Alcotest.(list string) "append clean after tear" [ "1"; "2" ] labels)
+
+let sort_dump_ordering_pinned () =
+  let e label key = (label, key, ()) in
+  let input = [ e "10" "a"; e "2" "z"; e "2" "a"; e "alpha" ""; e "Beta" "k"; e "1" "m" ] in
+  let strip l = List.map (fun (lbl, k, ()) -> (lbl, k)) l in
+  let pinned =
+    [ ("1", "m"); ("2", "a"); ("2", "z"); ("10", "a"); ("Beta", "k"); ("alpha", "") ]
+  in
+  check Alcotest.(list (pair string string))
+    "numeric labels ascend, key tiebreaks duplicates, strings sort after"
+    pinned (strip (Octopocs.sort_dump input));
+  (* input-order invariance: a merged sharded dump interleaves by settle
+     order, so any permutation must sort identically *)
+  check Alcotest.(list (pair string string)) "reversal sorts identically"
+    pinned (strip (Octopocs.sort_dump (List.rev input)))
+
 let suite =
   [
     tc "journal: roundtrip with binary payloads" journal_roundtrip;
@@ -647,4 +730,8 @@ let suite =
     tc "sharded: simultaneous torn tails recovered" sharded_multi_shard_torn_tails;
     tc "sharded: shard-count mismatch refused" sharded_resume_shard_count_mismatch;
     tc "sharded: kill-after-K resume equals uninterrupted" sharded_kill_resume_equivalence;
+    tc "validate: rejected well-formed frame ends the prefix" journal_validate_rejects_wellformed_frame;
+    tc "quarantine: resume truncates a foreign-record tail" quarantine_resume_truncates_foreign_tail;
+    tc "quarantine: resume truncates a torn tail, appends clean" quarantine_resume_truncates_torn_tail;
+    tc "dump: merged ordering pinned (numeric, key tiebreak)" sort_dump_ordering_pinned;
   ]

@@ -1,8 +1,13 @@
-(* Test runner: aggregates the per-module suites. *)
+(* Test runner: aggregates the per-module suites.
+
+   "sandbox" MUST stay first: its tests fork, and OCaml 5.1 refuses
+   Unix.fork permanently once any domain has ever been spawned in the
+   process — which any later suite touching a pool does. *)
 
 let () =
   Alcotest.run "octopocs"
     [
+      ("sandbox", Test_sandbox.suite);
       ("util", Test_util.suite);
       ("vm", Test_vm.suite);
       ("solver", Test_solver.suite);

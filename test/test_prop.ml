@@ -437,6 +437,54 @@ let gen_payloads : string list Q.gen =
 let gen_flips : (int * int) list Q.gen =
   Q.list_of (Q.int_range 1 4) (Q.pair (Q.int_range 0 1_000_000) (Q.int_range 0 255))
 
+(* -- Pool.backoff_delay ------------------------------------------------- *)
+
+module Pool = Octo_util.Pool
+
+(* Mirror of the documented envelope midpoint: exponential in the
+   attempt, clamped to [1, 16] doublings, capped at [cap_s]. *)
+let backoff_mid ~base_s ~cap_s attempt =
+  let a = max 1 (min attempt 16) in
+  Float.min cap_s (base_s *. Float.of_int (1 lsl (a - 1)))
+
+let gen_bkey : int Q.gen = Q.int_range 0 1_000_000
+let gen_attempt : int Q.gen = Q.int_range (-3) 40
+
+let backoff_deterministic (key, attempt) =
+  let d1 = Pool.backoff_delay ~key ~attempt () in
+  let d2 = Pool.backoff_delay ~key ~attempt () in
+  Float.equal d1 d2
+
+let backoff_envelope (key, attempt) =
+  let d = Pool.backoff_delay ~key ~attempt () in
+  let mid = backoff_mid ~base_s:0.002 ~cap_s:0.100 attempt in
+  d >= 0.5 *. mid && d < 1.5 *. mid
+
+let backoff_envelope_monotone_capped key =
+  (* The jitter-free midpoint never shrinks as attempts mount and never
+     exceeds the cap; past 16 doublings it is pinned at the cap. *)
+  let ok = ref true in
+  for attempt = 1 to 39 do
+    let m = backoff_mid ~base_s:0.002 ~cap_s:0.100 attempt in
+    let m' = backoff_mid ~base_s:0.002 ~cap_s:0.100 (attempt + 1) in
+    if m' < m || m' > 0.100 then ok := false;
+    ignore (Pool.backoff_delay ~key ~attempt ())
+  done;
+  !ok && Float.equal (backoff_mid ~base_s:0.002 ~cap_s:0.100 40) 0.100
+
+let backoff_keys_decorrelated (k1, k2) =
+  (* Distinct labels must not share a jitter stream: over attempts 1..8
+     at least one delay differs (the deterministic per-(key, attempt)
+     jitter makes collisions across all eight vanishingly unlikely). *)
+  k1 = k2
+  || List.exists
+       (fun attempt ->
+         not
+           (Float.equal
+              (Pool.backoff_delay ~key:k1 ~attempt ())
+              (Pool.backoff_delay ~key:k2 ~attempt ())))
+       [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
 let suite =
   [
     Q.test_case "codec: random reports round-trip exactly" ~seed:0xC0DEC ~count:300
@@ -473,4 +521,12 @@ let suite =
       ~count:60
       (Q.pair gen_payloads (Q.int_range 0 1_000_000))
       truncate_prop;
+    Q.test_case "backoff: same key and attempt replay the exact delay" ~seed:0xBAC0
+      ~count:300 (Q.pair gen_bkey gen_attempt) backoff_deterministic;
+    Q.test_case "backoff: jitter stays inside the [0.5d, 1.5d) envelope" ~seed:0xBAC1
+      ~count:300 (Q.pair gen_bkey gen_attempt) backoff_envelope;
+    Q.test_case "backoff: envelope midpoint is monotone and capped" ~seed:0xBAC2
+      ~count:100 gen_bkey backoff_envelope_monotone_capped;
+    Q.test_case "backoff: distinct keys draw decorrelated jitter streams" ~seed:0xBAC3
+      ~count:300 (Q.pair gen_bkey gen_bkey) backoff_keys_decorrelated;
   ]
