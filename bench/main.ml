@@ -563,11 +563,46 @@ let history_fields () =
   in
   (det, timings)
 
+(* Scan-detection counters: a detection-only clone scan over the gen:40:42
+   corpus plus 3 seeded decoys.  Retrieval, confirmation and ground-truth
+   tallies are pure functions of (seed, params) — identical on any
+   machine — so they gate alongside the per-pair counters.  The elapsed
+   time rides along as a non-gating timing. *)
+let scan_history_keys =
+  [ "scan_retrieved"; "scan_confirmed"; "scan_rejected"; "scan_gt"; "scan_tp"; "scan_postings" ]
+
+let scan_history_fields () =
+  let module Scan = Octo_targets.Scan in
+  let t0 = Unix.gettimeofday () in
+  let src = Octo_targets.Source.generated ~seed:42 ~count:40 () in
+  let probes, targets = Scan.of_source src in
+  let n_decoys = 3 in
+  let targets = targets @ Scan.decoy_targets ~seed:7 ~count:n_decoys in
+  let r = Scan.run ~probes ~targets ~n_decoys () in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let det =
+    [
+      ("scan_retrieved", float_of_int r.Scan.n_retrieved);
+      ("scan_confirmed", float_of_int (List.length r.Scan.candidates));
+      ("scan_rejected", float_of_int r.Scan.n_rejected);
+      ("scan_gt", float_of_int (List.length r.Scan.gt));
+      ("scan_tp", float_of_int r.Scan.n_tp);
+      ("scan_postings", float_of_int r.Scan.index_postings);
+    ]
+  in
+  let pairs = r.Scan.n_probes * r.Scan.n_targets in
+  say "scan: gen:40:42 + %d decoys — %d probe-target pairs, %d confirmed of %d retrieved in %.0f ms (%.0f pairs/s)"
+    n_decoys pairs (List.length r.Scan.candidates) r.Scan.n_retrieved ms
+    (float_of_int pairs /. Float.max (ms /. 1000.) 1e-9);
+  (det, [ ("scan_elapsed_ms", ms) ])
+
 let bench_history () =
   say "";
   say "Perf history (deterministic counters + timings -> %s)" history_path;
   hr ();
   let det, timings = history_fields () in
+  let sdet, stimings = scan_history_fields () in
+  let det = det @ sdet and timings = timings @ stimings in
   let field (k, v) =
     if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%S: %.0f" k v
     else Printf.sprintf "%S: %.3f" k v
@@ -625,11 +660,12 @@ let last_history_line path =
   end
 
 let is_deterministic_key k =
-  List.exists
-    (fun (_, suffix) ->
-      let sl = String.length suffix and kl = String.length k in
-      kl > sl && String.sub k (kl - sl) sl = suffix)
-    history_counters
+  List.mem k scan_history_keys
+  || List.exists
+       (fun (_, suffix) ->
+         let sl = String.length suffix and kl = String.length k in
+         kl > sl && String.sub k (kl - sl) sl = suffix)
+       history_counters
 
 (* Returns the number of regressions (CI fails on > 0). *)
 let bench_gate () =
@@ -653,6 +689,8 @@ let bench_gate () =
       end
       else begin
         let det, timings = history_fields () in
+        let sdet, stimings = scan_history_fields () in
+        let det = det @ sdet and timings = timings @ stimings in
         let regressions = ref 0 in
         let improved = ref 0 and unchanged = ref 0 and fresh = ref 0 in
         List.iter

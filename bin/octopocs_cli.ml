@@ -33,6 +33,8 @@
 open Cmdliner
 module Registry = Octo_targets.Registry
 module Source = Octo_targets.Source
+module Scan = Octo_targets.Scan
+module Detect = Octo_clone.Detect
 module B = Octo_util.Bytes_util
 module Faultinject = Octo_util.Faultinject
 module Journal = Octo_util.Journal
@@ -312,6 +314,113 @@ let quarantine_journal_path ~journal_path ~shards ~quarantine_path =
       | Some dir when shards > 1 -> Some (Filename.concat dir "quarantine.jrnl")
       | _ -> None)
 
+(* Shared write-ahead-journal plumbing for the streaming runners
+   (verify-all --corpus and scan): the verdict journal (a file for
+   --shards 1, a shard directory otherwise), the replayed prior verdicts,
+   the quarantine journal, and the prior quarantine records.  Fresh runs
+   refuse to clobber existing journals of either form. *)
+type stream_journals = {
+  sj_writer : corpus_journal;
+  sj_replayed : (string * string * Octopocs.report) list;
+  sj_quarantine : Journal.writer option;
+  sj_quarantined_prior : (string, Octopocs.quarantine) Hashtbl.t;
+}
+
+let close_stream_journals sj =
+  (match sj.sj_writer with
+  | No_journal -> ()
+  | Single w -> Journal.close w
+  | Dir w -> Journal.Sharded.close w);
+  match sj.sj_quarantine with Some w -> Journal.close w | None -> ()
+
+let open_stream_journals ~journal_path ~resume ~shards ~quarantine_path =
+  let qpath = quarantine_journal_path ~journal_path ~shards ~quarantine_path in
+  let journal_setup =
+    match journal_path with
+    | None -> Ok (No_journal, [])
+    | Some path when shards <= 1 ->
+        if resume then begin
+          let w, records = Journal.open_resume ~path () in
+          Ok (Single w, List.filter_map Octopocs.decode_result records)
+        end
+        else if Sys.file_exists path then
+          Error
+            (structured_error
+               "journal %s already exists; pass --resume to continue it or remove it first"
+               path)
+        else Ok (Single (Journal.create ~path ()), [])
+    | Some dir -> (
+        if resume then
+          match Journal.Sharded.open_resume ~dir ~shards () with
+          | w, recovered ->
+              let replayed =
+                Array.to_list recovered |> List.concat
+                |> List.filter_map Octopocs.decode_result
+              in
+              Ok (Dir w, replayed)
+          | exception Failure msg -> Error (structured_error "%s" msg)
+        else if Journal.Sharded.exists dir then
+          Error
+            (structured_error
+               "journal %s already exists; pass --resume to continue it or remove it first"
+               dir)
+        else Ok (Dir (Journal.Sharded.create ~dir ~shards ()), []))
+  in
+  match journal_setup with
+  | Error code -> Error code
+  | Ok (jw, replayed) -> (
+      let close_jw () =
+        match jw with
+        | No_journal -> ()
+        | Single w -> Journal.close w
+        | Dir w -> Journal.Sharded.close w
+      in
+      (* Quarantined labels from a previous run are set aside, not re-run:
+         their fault schedule is deterministic, so a retry would only
+         quarantine them again. *)
+      let quarantined_prior : (string, Octopocs.quarantine) Hashtbl.t = Hashtbl.create 7 in
+      let qsetup =
+        match qpath with
+        | None -> Ok None
+        | Some p when resume ->
+            (* The quarantine journal gets the main WAL's torn-tail
+               recovery one level up: a frame that is CRC-valid but not
+               a decodable OQR1 record (a crash half-through an
+               overwrite can produce one) ends the valid prefix and is
+               truncated away on resume, like a torn frame. *)
+            let w, records =
+              Journal.open_resume
+                ~validate:(fun payload -> Octopocs.decode_quarantine payload <> None)
+                ~path:p ()
+            in
+            List.iter
+              (fun payload ->
+                match Octopocs.decode_quarantine payload with
+                | Some q -> Hashtbl.replace quarantined_prior q.Octopocs.qlabel q
+                | None -> ())
+              records;
+            Ok (Some w)
+        | Some p when Sys.file_exists p ->
+            Error
+              (structured_error
+                 "quarantine journal %s already exists; pass --resume to continue it \
+                  or remove it first"
+                 p)
+        | Some p -> Ok (Some (Journal.create ~path:p ()))
+      in
+      match qsetup with
+      | Error code ->
+          close_jw ();
+          Error code
+      | Ok qw ->
+          Ok
+            {
+              sj_writer = jw;
+              sj_replayed = replayed;
+              sj_quarantine = qw;
+              sj_quarantined_prior = quarantined_prior;
+            })
+
 let run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~chaos_sites ~journal_path
     ~resume ~shards ~quarantine_path ~window ~poison ~spec ~isolate ~limits ~mem_watermark
     ~metrics_on () =
@@ -323,89 +432,13 @@ let run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~chaos_sites ~journa
       let config_of label =
         config_for_label ~spec ~chaos_sites ~deadline ~chaos_seed ~poison label
       in
-      let qpath = quarantine_journal_path ~journal_path ~shards ~quarantine_path in
-      (* Journal setup: a file for --shards 1, a shard directory otherwise.
-         Fresh runs refuse to clobber either form. *)
-      let journal_setup =
-        match journal_path with
-        | None -> Ok (No_journal, [])
-        | Some path when shards <= 1 ->
-            if resume then begin
-              let w, records = Journal.open_resume ~path () in
-              Ok (Single w, List.filter_map Octopocs.decode_result records)
-            end
-            else if Sys.file_exists path then
-              Error
-                (structured_error
-                   "journal %s already exists; pass --resume to continue it or remove it first"
-                   path)
-            else Ok (Single (Journal.create ~path ()), [])
-        | Some dir -> (
-            if resume then
-              match Journal.Sharded.open_resume ~dir ~shards () with
-              | w, recovered ->
-                  let replayed =
-                    Array.to_list recovered |> List.concat
-                    |> List.filter_map Octopocs.decode_result
-                  in
-                  Ok (Dir w, replayed)
-              | exception Failure msg -> Error (structured_error "%s" msg)
-            else if Journal.Sharded.exists dir then
-              Error
-                (structured_error
-                   "journal %s already exists; pass --resume to continue it or remove it first"
-                   dir)
-            else Ok (Dir (Journal.Sharded.create ~dir ~shards ()), []))
-      in
-      match journal_setup with
+      match open_stream_journals ~journal_path ~resume ~shards ~quarantine_path with
       | Error code -> code
-      | Ok (jw, replayed) -> (
-          let close_jw () =
-            match jw with
-            | No_journal -> ()
-            | Single w -> Journal.close w
-            | Dir w -> Journal.Sharded.close w
-          in
-          (* Quarantined labels from a previous run are set aside, not
-             re-run: their fault schedule is deterministic, so a retry
-             would only quarantine them again. *)
-          let quarantined_prior : (string, Octopocs.quarantine) Hashtbl.t =
-            Hashtbl.create 7
-          in
-          let qsetup =
-            match qpath with
-            | None -> Ok None
-            | Some p when resume ->
-                (* The quarantine journal gets the main WAL's torn-tail
-                   recovery one level up: a frame that is CRC-valid but not
-                   a decodable OQR1 record (a crash half-through an
-                   overwrite can produce one) ends the valid prefix and is
-                   truncated away on resume, like a torn frame. *)
-                let w, records =
-                  Journal.open_resume
-                    ~validate:(fun payload -> Octopocs.decode_quarantine payload <> None)
-                    ~path:p ()
-                in
-                List.iter
-                  (fun payload ->
-                    match Octopocs.decode_quarantine payload with
-                    | Some q -> Hashtbl.replace quarantined_prior q.Octopocs.qlabel q
-                    | None -> ())
-                  records;
-                Ok (Some w)
-            | Some p when Sys.file_exists p ->
-                Error
-                  (structured_error
-                     "quarantine journal %s already exists; pass --resume to continue it \
-                      or remove it first"
-                     p)
-            | Some p -> Ok (Some (Journal.create ~path:p ()))
-          in
-          match qsetup with
-          | Error code ->
-              close_jw ();
-              code
-          | Ok qw ->
+      | Ok sj ->
+          let jw = sj.sj_writer in
+          let qw = sj.sj_quarantine in
+          let replayed = sj.sj_replayed in
+          let quarantined_prior = sj.sj_quarantined_prior in
           (* Last journaled verdict per label wins, as in the registry
              path. *)
           let settled_prior : (string, string * Octopocs.report) Hashtbl.t =
@@ -509,8 +542,7 @@ let run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~chaos_sites ~journa
               ?mem_watermark_mb:mem_watermark ?pre_run:oom_pre_run ~on_settle
               ~on_quarantine next_job
           in
-          close_jw ();
-          (match qw with Some w -> Journal.close w | None -> ());
+          close_stream_journals sj;
           let elapsed = Unix.gettimeofday () -. t0 in
           say "corpus  : %s  pulled=%d settled=%d quarantined=%d cached=%d%s peak-in-flight=%d deferred=%d"
             (Source.id src) st.Octopocs.st_pulled st.Octopocs.st_settled
@@ -534,7 +566,7 @@ let run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~chaos_sites ~journa
               (Metrics.counter_value batch Metrics.Pool_stalls)
               (Metrics.counter_value batch Metrics.Pool_backoffs)
           end;
-          !worst)
+          !worst
 
 let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall_grace trace
     metrics_on provenance_on spec corpus shards quarantine_path window poison isolate
@@ -885,6 +917,366 @@ let verify_all_cmd =
           $ rlimit_as $ rlimit_cpu $ mem_watermark $ chaos_sites)
 
 (* ------------------------------------------------------------------ *)
+(* scan: the clone-detection front-end.  Instead of verifying annotated
+   (S, T) pairs, discover them: index every target program of a corpus
+   (plus optional seeded decoys), retrieve candidates for each probe's
+   annotated vulnerable function, confirm (S, T, ℓ, ep) through the
+   validity filter, print the precision/recall table against the
+   corpus's own ground truth, and pipe the confirmed candidates through
+   the streaming verifier with the same journal/quarantine/isolation
+   machinery as verify-all --corpus. *)
+
+let run_scan corpus strict decoys decoy_seed shingle_k winnow_w tau_retrieve tau_confirm
+    top no_verify min_recall jobs retries deadline journal_path resume shards
+    quarantine_path window isolate rlimit_as rlimit_cpu mem_watermark =
+  let limits = { Octo_util.Sandbox.as_mb = rlimit_as; cpu_s = rlimit_cpu } in
+  if resume && journal_path = None then structured_error "--resume requires --journal PATH"
+  else if shards < 1 then structured_error "--shards must be >= 1"
+  else if shards > 1 && journal_path = None then
+    structured_error "--shards requires --journal DIR"
+  else if isolate = Octopocs.Domains && (rlimit_as <> None || rlimit_cpu <> None) then
+    structured_error "--rlimit-as/--rlimit-cpu require --isolate proc"
+  else if isolate = Octopocs.Domains && mem_watermark <> None then
+    structured_error "--mem-watermark requires --isolate proc"
+  else if decoys < 0 then structured_error "--decoys must be >= 0"
+  else if shingle_k < 1 then structured_error "--shingle-k must be >= 1"
+  else if winnow_w < 1 then structured_error "--winnow-w must be >= 1"
+  else if
+    not
+      (tau_retrieve > 0.0 && tau_retrieve <= 1.0 && tau_confirm > 0.0 && tau_confirm <= 1.0)
+  then structured_error "--tau-retrieve/--tau-confirm must be in (0, 1]"
+  else if top < 0 then structured_error "--top must be >= 0"
+  else
+    match Source.of_spec ~strict corpus with
+    | Error msg -> structured_error "%s" msg
+    | Ok src -> (
+        match Scan.of_source src with
+        | exception Source.Malformed_manifest path ->
+            structured_error "malformed pair manifest: %s" path
+        | probes, corpus_targets -> (
+            let t0 = Unix.gettimeofday () in
+            let params =
+              { Detect.shingle_k; winnow_w; tau_retrieve; tau_confirm }
+            in
+            let targets = corpus_targets @ Scan.decoy_targets ~seed:decoy_seed ~count:decoys in
+            let result = Scan.run ~params ~top ~probes ~targets ~n_decoys:decoys () in
+            print_string (Scan.render ~corpus_id:(Source.id src) result);
+            let detect_elapsed = Unix.gettimeofday () -. t0 in
+            let recall_bad =
+              match min_recall with Some m -> Scan.recall result < m | None -> false
+            in
+            if recall_bad then
+              Format.eprintf "octopocs: scan recall %.3f below --min-recall %.3f@."
+                (Scan.recall result)
+                (Option.value min_recall ~default:0.0);
+            if no_verify then begin
+              say "scan    : detection only (--no-verify), %.3fs wall" detect_elapsed;
+              if recall_bad then 1 else 0
+            end
+            else begin
+              (* Verification stage: one job per distinct confirmed (S, T)
+                 pair.  A diagonal candidate (S and T from the same corpus
+                 pair) runs under the pair's own label with ℓ re-derived by
+                 the pipeline's clone stage — its content key is therefore
+                 identical to a verify-all --corpus run of the same corpus,
+                 so journal dumps of the two agree on the intersection.  A
+                 cross candidate runs under "S~T" with the detector's ℓ. *)
+              let probe_tbl : (string, Scan.probe) Hashtbl.t = Hashtbl.create 31 in
+              List.iter (fun (pr : Scan.probe) -> Hashtbl.replace probe_tbl pr.Scan.pr_label pr) probes;
+              let target_tbl : (string, Scan.target) Hashtbl.t = Hashtbl.create 31 in
+              List.iter
+                (fun (tg : Scan.target) -> Hashtbl.replace target_tbl tg.Scan.tg_label tg)
+                targets;
+              let config_of label =
+                config_for_label ~deadline ~chaos_seed:None ~poison:None label
+              in
+              let seen : (string * string, unit) Hashtbl.t = Hashtbl.create 31 in
+              let jobs_list =
+                List.filter_map
+                  (fun (c : Detect.candidate) ->
+                    let pk = (c.Detect.c_s_label, c.Detect.c_t_label) in
+                    if Hashtbl.mem seen pk then None
+                    else begin
+                      Hashtbl.replace seen pk ();
+                      let pr = Hashtbl.find probe_tbl c.Detect.c_s_label in
+                      let tg = Hashtbl.find target_tbl c.Detect.c_t_label in
+                      let diagonal = c.Detect.c_s_label = c.Detect.c_t_label in
+                      let label =
+                        if diagonal then c.Detect.c_s_label
+                        else c.Detect.c_s_label ^ "~" ^ c.Detect.c_t_label
+                      in
+                      let ell = if diagonal then None else Some c.Detect.c_ell in
+                      let expected = if diagonal then pr.Scan.pr_expected else None in
+                      let config = config_of label in
+                      let key =
+                        Octopocs.content_key ~config ?ell ~s:pr.Scan.pr_s ~t:tg.Scan.tg_prog
+                          ~poc:pr.Scan.pr_poc ()
+                      in
+                      Some
+                        ( label,
+                          key,
+                          expected,
+                          Octopocs.job ~config ?ell ~label ~s:pr.Scan.pr_s
+                            ~t:tg.Scan.tg_prog ~poc:pr.Scan.pr_poc () )
+                    end)
+                  result.Scan.candidates
+              in
+              match open_stream_journals ~journal_path ~resume ~shards ~quarantine_path with
+              | Error code -> code
+              | Ok sj ->
+                  let settled_prior : (string, string * Octopocs.report) Hashtbl.t =
+                    Hashtbl.create (List.length sj.sj_replayed)
+                  in
+                  List.iter
+                    (fun (l, k, r) -> Hashtbl.replace settled_prior l (k, r))
+                    sj.sj_replayed;
+                  let meta : (string, string * string option) Hashtbl.t =
+                    Hashtbl.create 31
+                  in
+                  List.iter
+                    (fun (label, key, expected, _) -> Hashtbl.replace meta label (key, expected))
+                    jobs_list;
+                  let lock = Mutex.create () in
+                  let triggered = ref 0
+                  and not_trig = ref 0
+                  and failures = ref 0
+                  and crashed = ref 0
+                  and ncached = ref 0
+                  and nquar_prior = ref 0
+                  and known = ref 0
+                  and matched = ref 0
+                  and worst = ref 0 in
+                  let tally ?expected (r : Octopocs.report) =
+                    Mutex.lock lock;
+                    (match r.verdict with
+                    | Octopocs.Triggered _ -> incr triggered
+                    | Octopocs.Not_triggerable _ -> incr not_trig
+                    | Octopocs.Failure _ ->
+                        if crashed_verdict r then incr crashed else incr failures);
+                    worst := max !worst (verdict_exit r);
+                    (match expected with
+                    | Some want ->
+                        incr known;
+                        if Octopocs.verdict_class r.verdict = want then incr matched
+                    | None -> ());
+                    Mutex.unlock lock
+                  in
+                  let to_run =
+                    List.filter_map
+                      (fun (label, key, expected, job) ->
+                        if Hashtbl.mem sj.sj_quarantined_prior label then begin
+                          incr nquar_prior;
+                          None
+                        end
+                        else
+                          match Hashtbl.find_opt settled_prior label with
+                          | Some (k, r) when k = key ->
+                              incr ncached;
+                              tally ?expected r;
+                              None
+                          | _ -> Some job)
+                      jobs_list
+                  in
+                  let on_settle j (r : Octopocs.report) =
+                    if settle_delay_s > 0. then Unix.sleepf settle_delay_s;
+                    let label = Octopocs.job_label j in
+                    let key, expected =
+                      match Hashtbl.find_opt meta label with
+                      | Some (k, e) -> (k, e)
+                      | None -> ("", None)
+                    in
+                    (match sj.sj_writer with
+                    | No_journal -> ()
+                    | Single w -> Journal.append w (Octopocs.encode_result ~label ~key r)
+                    | Dir w ->
+                        Journal.Sharded.append w ~key (Octopocs.encode_result ~label ~key r));
+                    tally ?expected r
+                  in
+                  let on_quarantine (q : Octopocs.quarantine) =
+                    (match sj.sj_quarantine with
+                    | Some w -> Journal.append w (Octopocs.encode_quarantine q)
+                    | None -> ());
+                    Logs.warn (fun m ->
+                        m "quarantined %s after %d attempt(s): %s: %s" q.Octopocs.qlabel
+                          q.Octopocs.qattempts q.Octopocs.qreason q.Octopocs.qmessage)
+                  in
+                  let st =
+                    Octopocs.run_stream ~jobs ~retries ?window ~isolate ~limits
+                      ?mem_watermark_mb:mem_watermark ?pre_run:oom_pre_run ~on_settle
+                      ~on_quarantine
+                      (Octopocs.stream_of_list to_run)
+                  in
+                  close_stream_journals sj;
+                  let elapsed = Unix.gettimeofday () -. t0 in
+                  say "verify  : candidates=%d settled=%d quarantined=%d cached=%d%s"
+                    (List.length jobs_list) st.Octopocs.st_settled st.Octopocs.st_quarantined
+                    !ncached
+                    (if !nquar_prior > 0 then
+                       Printf.sprintf " quarantined-prior=%d" !nquar_prior
+                     else "");
+                  say "summary : %d triggered / %d not-triggerable / %d failure / %d crashed (%d cached, %d quarantined)"
+                    !triggered !not_trig !failures !crashed !ncached
+                    (st.Octopocs.st_quarantined + !nquar_prior);
+                  if !known > 0 then say "expected: %d/%d classes match" !matched !known;
+                  say "%.3fs wall (%.3fs detection), %d worker %s" elapsed detect_elapsed
+                    (Octo_util.Pool.effective_jobs jobs)
+                    (match isolate with
+                    | Octopocs.Domains -> "domain(s)"
+                    | Octopocs.Processes -> "process(es)");
+                  max !worst (if recall_bad then 1 else 0)
+            end))
+
+let scan_cmd =
+  let corpus =
+    Arg.(value & opt string "registry"
+         & info [ "corpus" ] ~docv:"SPEC"
+             ~doc:"Corpus to scan: $(b,registry), $(b,gen:COUNT[:SEED]), or a corpus \
+                   directory of pair manifests.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Treat a malformed pair manifest in a corpus directory as a \
+                   structured error (exit 2) instead of a skip-with-warning.")
+  in
+  let decoys =
+    Arg.(value & opt int 0
+         & info [ "decoys" ] ~docv:"N"
+             ~doc:"Seed $(docv) decoy programs into the target set: patched \
+                   (fix applied), mutated (one opcode flipped) and unrelated, \
+                   round-robin.  The first two are retrieved by the index and \
+                   rejected by the validity filter; unrelated decoys are never \
+                   retrieved.")
+  in
+  let decoy_seed =
+    Arg.(value & opt int 7
+         & info [ "decoy-seed" ] ~docv:"SEED" ~doc:"Seed for the decoy generator.")
+  in
+  let shingle_k =
+    Arg.(value & opt int Detect.default_params.Detect.shingle_k
+         & info [ "shingle-k" ] ~docv:"K"
+             ~doc:"Shingle length: $(docv) consecutive normalized instruction tokens \
+                   per k-gram.")
+  in
+  let winnow_w =
+    Arg.(value & opt int Detect.default_params.Detect.winnow_w
+         & info [ "winnow-w" ] ~docv:"W"
+             ~doc:"Winnowing window: keep the minimum k-gram hash of every $(docv)-gram \
+                   window.")
+  in
+  let tau_retrieve =
+    Arg.(value & opt float Detect.default_params.Detect.tau_retrieve
+         & info [ "tau-retrieve" ] ~docv:"F"
+             ~doc:"Retrieval threshold: a target function is a hit when it shares at \
+                   least fraction $(docv) of the probe's shingles.")
+  in
+  let tau_confirm =
+    Arg.(value & opt float Detect.default_params.Detect.tau_confirm
+         & info [ "tau-confirm" ] ~docv:"F"
+             ~doc:"Confirmation threshold for near-clones: a hit that is not an exact \
+                   normalized clone of the probe needs containment >= $(docv).")
+  in
+  let top =
+    Arg.(value & opt int 0
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Keep at most $(docv) confirmed candidates per probe (best \
+                   containment first; 0 = unlimited).  Dropped candidates are \
+                   counted in the report, never silent.")
+  in
+  let no_verify =
+    Arg.(value & flag
+         & info [ "no-verify" ]
+             ~doc:"Stop after detection: print the candidate table and \
+                   precision/recall stats without running the verifier.")
+  in
+  let min_recall =
+    Arg.(value & opt (some float) None
+         & info [ "min-recall" ] ~docv:"F"
+             ~doc:"Exit 1 when detection recall against the corpus ground truth falls \
+                   below $(docv) — the CI regression gate.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Verify confirmed candidates on $(docv) workers (default 1: serial).")
+  in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry a crashed candidate $(docv) extra times before quarantining it.")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"PATH"
+             ~doc:"Write-ahead journal for the verification stage (file, or shard \
+                   directory with --shards).  Diagonal candidates journal under the \
+                   corpus pair's own label and content key, so dumps intersect \
+                   cleanly with verify-all --corpus journals.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Replay the journal first; candidates already settled under an \
+                   identical content key are reused.")
+  in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Split the journal into $(docv) shard files under --journal DIR.")
+  in
+  let quarantine =
+    Arg.(value & opt (some string) None
+         & info [ "quarantine" ] ~docv:"PATH"
+             ~doc:"Quarantine journal for candidates that crash past --retries.")
+  in
+  let window =
+    Arg.(value & opt (some int) None
+         & info [ "window" ] ~docv:"N"
+             ~doc:"Bound on in-flight candidates (default: max(4, 2*jobs)).")
+  in
+  let isolate =
+    let mode_conv =
+      Arg.enum [ ("domain", Octopocs.Domains); ("proc", Octopocs.Processes) ]
+    in
+    Arg.(value & opt mode_conv Octopocs.Domains
+         & info [ "isolate" ] ~docv:"MODE"
+             ~doc:"Candidate isolation: $(b,domain) (default) or $(b,proc) (one \
+                   forked, rlimit-bounded child per candidate).")
+  in
+  let rlimit_as =
+    Arg.(value & opt (some int) None
+         & info [ "rlimit-as" ] ~docv:"MB"
+             ~doc:"With --isolate proc: bound each child's address space (MiB).")
+  in
+  let rlimit_cpu =
+    Arg.(value & opt (some int) None
+         & info [ "rlimit-cpu" ] ~docv:"SECS"
+             ~doc:"With --isolate proc: hard CPU-time backstop per child.")
+  in
+  let mem_watermark =
+    Arg.(value & opt (some int) None
+         & info [ "mem-watermark" ] ~docv:"MB"
+             ~doc:"With --isolate proc: memory-pressure admission control watermark.")
+  in
+  Cmd.v
+    (Cmd.info "scan"
+       ~doc:"Discover (S, T, ℓ, ep) candidates across a corpus by clone detection, \
+             report precision/recall vs the annotated ground truth, and verify the \
+             confirmed candidates"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P "0 on success (worst candidate verdict Triggered, or --no-verify with \
+               recall above --min-recall); 1 when some candidate is Not-triggerable \
+               or recall falls below --min-recall; 2 on a Failure verdict or a \
+               structured error; 3 when a worker crashed.";
+         ])
+    Term.(const run_scan $ corpus $ strict $ decoys $ decoy_seed $ shingle_k $ winnow_w
+          $ tau_retrieve $ tau_confirm $ top $ no_verify $ min_recall $ jobs $ retries
+          $ deadline_arg $ journal $ resume $ shards $ quarantine $ window $ isolate
+          $ rlimit_as $ rlimit_cpu $ mem_watermark)
+
+(* ------------------------------------------------------------------ *)
 (* explain: render the causal evidence behind one verdict.  The live form
    re-verifies the pair with provenance collection enabled (the pipeline
    is deterministic, so this IS the original run's evidence); the
@@ -1109,6 +1501,32 @@ let corpus_write dir count seed =
     0
   end
 
+(* Validation mode: walk the directory like a verification run would,
+   counting readable pairs.  Lenient mode mirrors the historical
+   skip-with-warning behaviour; --strict turns the first malformed
+   manifest into a structured error and exit 2, so CI catches a corrupted
+   corpus before burning a batch on it. *)
+let corpus_check dir strict =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    structured_error "no such corpus directory: %s" dir
+  else begin
+    let src = Source.directory ~strict dir in
+    let rec drain n =
+      match Source.next src with None -> n | Some _ -> drain (n + 1)
+    in
+    match drain 0 with
+    | n ->
+        say "corpus %s: %d readable pair manifest(s)" dir n;
+        0
+    | exception Source.Malformed_manifest path ->
+        structured_error "malformed pair manifest: %s" path
+  end
+
+let corpus_run dir count seed check strict =
+  if strict && not check then structured_error "--strict requires --check"
+  else if check then corpus_check dir strict
+  else corpus_write dir count seed
+
 let corpus_cmd =
   let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
   let count =
@@ -1119,10 +1537,25 @@ let corpus_cmd =
     Arg.(value & opt int 42
          & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed recorded in every manifest.")
   in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Validate an existing corpus directory instead of writing one: \
+                   parse every .pair manifest and report the readable count.  \
+                   Malformed manifests are skipped with a warning, as a \
+                   verification run would skip them.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"With --check: fail on the first malformed manifest with a \
+                   structured error and exit 2 instead of skipping it.")
+  in
   Cmd.v
     (Cmd.info "corpus"
-       ~doc:"Write a corpus directory of pair manifests for verify-all --corpus DIR")
-    Term.(const corpus_write $ dir $ count $ seed)
+       ~doc:"Write a corpus directory of pair manifests for verify-all --corpus DIR, \
+             or validate one with --check [--strict]")
+    Term.(const corpus_run $ dir $ count $ seed $ check $ strict)
 
 (* ------------------------------------------------------------------ *)
 (* trace: schema validation of a --trace output file.  Exit 0 on a valid
@@ -1157,8 +1590,8 @@ let () =
     Cmd.eval' ~catch:false
       (Cmd.group info
          [
-           verify_cmd; verify_all_cmd; explain_cmd; inspect_cmd; fuzz_cmd; journal_cmd;
-           corpus_cmd; trace_cmd;
+           verify_cmd; verify_all_cmd; scan_cmd; explain_cmd; inspect_cmd; fuzz_cmd;
+           journal_cmd; corpus_cmd; trace_cmd;
          ])
   with
   | code -> exit code

@@ -1,0 +1,111 @@
+(** Clone-detection front-end: discovering (S, T, ℓ, ep) candidates.
+
+    {!Clone} decides whether two functions are identical clones; this
+    module answers the retrieval question that precedes it at corpus
+    scale (the VUDDY / VulCoCo workflow): given one known-vulnerable
+    function of S, which target programs of a corpus plausibly contain a
+    clone of it — and for each plausible pair, what are the ℓ and ep the
+    verifier should run with? *)
+
+open Octo_vm.Isa
+
+(** Detection parameters: k-gram length, winnowing window, and the two
+    probe-side containment thresholds ([tau_retrieve] gates index hits,
+    [tau_confirm] gates non-exact-match confirmation). *)
+type params = {
+  shingle_k : int;
+  winnow_w : int;
+  tau_retrieve : float;
+  tau_confirm : float;
+}
+
+val default_params : params
+(** [{ shingle_k = 4; winnow_w = 4; tau_retrieve = 0.5; tau_confirm = 0.9 }] *)
+
+val tokens : func -> string list
+(** [tokens f] is the normalized token stream: one opcode-shape token per
+    instruction, registers renumbered by first occurrence (parameters
+    pinned to their slots), callee names reduced to arity + return shape,
+    jump targets pc-relative; immediates and data symbols stay concrete
+    (on register-canonical MiniVM code the constants are what
+    distinguishes template-stamped functions).  Exposed for the property
+    tests. *)
+
+val fingerprint_norm : func -> string
+(** Digest of the normalized token stream: invariant under register
+    renaming and helper renaming; sensitive to any opcode-level or
+    constant edit. *)
+
+module ISet : Set.S with type elt = int
+
+val shingles : k:int -> w:int -> func -> ISet.t
+(** Winnowed k-gram shingle set over the normalized token stream
+    (per-window minima of k-gram hashes).  Deterministic across
+    platforms: hashing is the module's own 61-bit FNV, not
+    [Hashtbl.hash]. *)
+
+val containment : k:int -> func -> func -> float
+(** [containment ~k probe target] is |probe ∩ target| / |probe| over the
+    full (unwinnowed) k-gram sets — the precise score the validity
+    filter re-computes per hit, because the winnowed retrieval score
+    saturates at 1.0 on short functions whose differences fall between
+    selected shingles. *)
+
+(** Inverted index over target-program functions. *)
+type index
+
+val index_create : params -> index
+
+val index_add : index -> label:string -> program -> unit
+(** Fingerprint every function of a target program under a corpus label
+    and insert its shingles. *)
+
+val index_stats : index -> int * int * int
+(** [(programs, functions, postings)] indexed so far. *)
+
+(** A retrieval hit: target function [h_func] of entry [h_label] shares
+    fraction [h_score] of the probe's shingles. *)
+type hit = { h_label : string; h_func : string; h_score : float }
+
+val query : index -> func -> hit list
+(** Hits clearing [tau_retrieve], best score first (label and function
+    name as deterministic tiebreaks). *)
+
+(** A confirmed candidate: everything the verifier needs plus the
+    filter's evidence.  [c_reachable] is [None] when T's CFG recovery
+    failed; it is recorded, never used to reject (a dead entry point is
+    the verifier's Type-III case (ii)). *)
+type candidate = {
+  c_s_label : string;
+  c_t_label : string;
+  c_vuln_func : string;
+  c_hit_func : string;
+  c_score : float;  (** validated containment ({!containment}) *)
+  c_exact : bool;
+  c_ell : string list;  (** T-side names, sorted *)
+  c_ep : string;
+  c_reachable : bool option;
+}
+
+val s_crash : ?max_steps:int -> program -> poc:string -> Octo_vm.Interp.crash option
+(** Replay S on its own PoC; [None] when it does not crash (no candidate
+    probed from that S can then be confirmed). *)
+
+val confirm :
+  params ->
+  ?sdig:string ->
+  ?tdig:string ->
+  s:program ->
+  s_label:string ->
+  t:program ->
+  t_label:string ->
+  vuln_func:string ->
+  s_crash:Octo_vm.Interp.crash option ->
+  hit ->
+  candidate option
+(** Validity filter: exact shared-region alignment via
+    {!Clone.shared_functions_cached} (or the [tau_confirm] near-clone
+    path, which extends ℓ with the aligned pair), entry-point recovery
+    from S's crash backtrace mapped to T-side names, and recorded CFG
+    reachability of ep.  [sdig]/[tdig] forward precomputed
+    {!Octo_vm.Compile.program_digest} values to the ℓ cache. *)

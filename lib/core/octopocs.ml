@@ -1689,6 +1689,25 @@ let run_all ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?stall_grace_s
       ignore stall_grace_s;
       run_all_proc ~config ~jobs ~retries ~fail_fast ?limits ?pre_run ?on_settle batch
 
+(** [stream_of_list jobs] is a pull cursor over a pre-materialized job
+    list, safe to hand to {!run_stream}: the dispatcher is the only
+    caller by contract, but the cursor is mutex-protected anyway so a
+    future multi-dispatcher cannot corrupt it. *)
+let stream_of_list jobs =
+  let m = Mutex.create () in
+  let rest = ref jobs in
+  fun () ->
+    Mutex.lock m;
+    let j =
+      match !rest with
+      | [] -> None
+      | j :: tl ->
+          rest := tl;
+          Some j
+    in
+    Mutex.unlock m;
+    j
+
 (* ------------------------------------------------------------------ *)
 (* Deterministic dump ordering. *)
 

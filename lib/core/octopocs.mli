@@ -405,6 +405,11 @@ val run_stream :
   (unit -> job option) ->
   stream_stats
 
+(** [stream_of_list jobs] wraps a pre-materialized job list as a pull
+    cursor for {!run_stream} — the scan pipeline's bridge from a finite
+    confirmed-candidate set to the streaming runner.  Thread-safe. *)
+val stream_of_list : job list -> unit -> job option
+
 (** [sort_dump entries] orders decoded journal records [(label, key, v)]
     for display: label (numeric-aware, so registry pair "10" sorts after
     "9"), then content key as a tiebreak.  The tiebreak is what makes a

@@ -85,6 +85,17 @@ let decoder = function
   | Avi -> Shared.codec_decode
   | Tif -> Shared.tif_get_field
 
+(** [vuln_name fam] is the name of the family's shared vulnerable
+    decoder — the annotation a scan probes with (what a VUDDY user
+    starts from, mirroring {!Registry.case.vuln_func}). *)
+let vuln_name = function
+  | Gif -> "gif_read_image"
+  | Mjpg -> "mjpg_scan"
+  | Mpdf -> "font_copy"
+  | J2k -> "j2k_tile"
+  | Avi -> "codec_decode"
+  | Tif -> "tif_get_field"
+
 let decoder_call = function
   | Gif -> ("gif_read_image", [ Reg fd; Reg 18; Imm 0 ])
   | J2k -> ("j2k_tile", [ Reg fd; Reg 18; Imm 0 ])
@@ -230,3 +241,131 @@ let generate ~seed ~index =
     gpoc = poc;
     gexpected = expected_class variant;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Decoy targets for the clone-detection scan.
+
+   A scan over pairs alone cannot measure precision: every indexed target
+   genuinely links the vulnerable decoder, so every retrieval is a true
+   positive.  Decoys are target-only programs seeded into the corpus to
+   give the detector something to be wrong about, one kind per failure
+   mode:
+
+   - {b patched}: the decoder with its allocations enlarged 256x — the
+     upstream fix.  Only two immediates move, so the winnowed index
+     still retrieves it at high similarity; the validity filter's
+     full-k-gram re-score is what rejects it (retrieval
+     over-approximates, validation decides).
+   - {b mutated}: the decoder with one opcode-level edit and cosmetic
+     driver drift — a near-clone that should be retrieved but fail the
+     confirmation threshold.
+   - {b unrelated}: no decoder at all; must never be retrieved. *)
+
+type decoy_kind = Patched | Mutated | Unrelated
+
+let decoy_kind_name = function
+  | Patched -> "patched"
+  | Mutated -> "mutated"
+  | Unrelated -> "unrelated"
+
+(* The upstream fix: every allocation in the vulnerable function grows
+   256x, so no generated PoC (payloads are single-byte-length bounded)
+   can overflow it.  Only immediates change — the smallest edit the
+   normalized token stream can register. *)
+let patch_instr (ins : instr) : instr =
+  match ins with Sys (Alloc (d, Imm n)) -> Sys (Alloc (d, Imm (n * 256))) | i -> i
+
+(* One opcode-shape edit near the end of the function: the last Bin's
+   operator flips Add<->Xor; a function without Bin (tif_get_field) flips
+   its last Jif's relation instead.  Token-level change, so the
+   fingerprint and part of the shingle set move. *)
+let mutate_code (code : instr array) : instr array =
+  let code = Array.copy code in
+  let last p =
+    let r = ref (-1) in
+    Array.iteri (fun i ins -> if p ins then r := i) code;
+    !r
+  in
+  let bin_at = last (function Bin _ -> true | _ -> false) in
+  if bin_at >= 0 then begin
+    (match code.(bin_at) with
+    | Bin (op, d, x, y) ->
+        let op' = match op with Add -> Xor | Xor -> Add | o -> o in
+        code.(bin_at) <- Bin (op', d, x, y)
+    | _ -> ());
+    code
+  end
+  else begin
+    let jif_at = last (function Jif _ -> true | _ -> false) in
+    if jif_at >= 0 then
+      (match code.(jif_at) with
+      | Jif (r, a, b, t) ->
+          let r' = match r with Eq -> Ne | Ne -> Eq | Lt -> Ge | Ge -> Lt | Le -> Gt | Gt -> Le in
+          code.(jif_at) <- Jif (r', a, b, t)
+      | _ -> ());
+    code
+  end
+
+(* A program sharing no function shape with any family: a checksum
+   driver.  The helper's body is loop-structured like nothing in
+   {!Shared}, so no shingle window overlaps a decoder's. *)
+let unrelated_program ~name r =
+  let rounds = 1 + Rng.int r 6 in
+  assemble ~name ~entry:"main"
+    [
+      fn "main" ~params:0
+        (prologue
+        @ read_byte_or ~eof:"end" t0
+        @ [ I (Call ("csum", [ Reg t0; Imm rounds ], Some t0)) ]
+        @ exit_with 0 @ [ L "end" ] @ exit_with 1);
+      fn "csum" ~params:2
+        [
+          I (Mov (2, Imm 0));
+          I (Mov (3, Imm 0));
+          L "rounds";
+          I (Jif (Ge, Reg 3, Reg 1, "out"));
+          I (Bin (Mul, 2, Reg 2, Imm 31));
+          I (Bin (Add, 2, Reg 2, Reg 0));
+          I (Bin (And, 2, Reg 2, Imm 0xFFFF));
+          I (Bin (Add, 3, Reg 3, Imm 1));
+          I (Jmp "rounds");
+          L "out";
+          I (Ret (Reg 2));
+        ];
+    ]
+
+(* Replace the named function's code in an assembled program; the func
+   record and code array are fresh, so the shared [Shared] values other
+   programs link are never mutated. *)
+let rewrite_func (p : program) name f =
+  match Hashtbl.find_opt p.funcs name with
+  | None -> ()
+  | Some df -> Hashtbl.replace p.funcs name { df with code = f df.code }
+
+(** [decoy ~seed ~index] is decoy target [index] of the stream seeded by
+    [seed] — like {!generate}, a pure function of its coordinates.  The
+    kind cycles patched / mutated / unrelated by index; the family (for
+    the first two kinds) and all cosmetic drift come from the splitmix64
+    stream.  Returns [(label, program)]; labels sort as
+    ["d%05d-<kind>-<family>"]. *)
+let decoy ~seed ~index : string * program =
+  let r = Rng.create (seed lxor (index * 0x85EBCA6B) lxor 0x165667B1) in
+  let kind = match index mod 3 with 0 -> Patched | 1 -> Mutated | _ -> Unrelated in
+  let fam = families.(Rng.int r (Array.length families)) in
+  match kind with
+  | Unrelated ->
+      let label = Printf.sprintf "d%05d-%s-misc" index (decoy_kind_name kind) in
+      (label, unrelated_program ~name:label r)
+  | Patched | Mutated ->
+      let label =
+        Printf.sprintf "d%05d-%s-%s" index (decoy_kind_name kind) (family_name fam)
+      in
+      (* Cosmetic driver drift keeps decoy mains from fingerprint-matching
+         any generated S main, so ℓ never accidentally includes main. *)
+      let p =
+        build_program fam ~name:label ~edits:(clone_edits r) ~guard:None ~conflict:false
+          ~call:true
+      in
+      rewrite_func p (vuln_name fam)
+        (if kind = Patched then Array.map patch_instr else mutate_code);
+      (label, p)

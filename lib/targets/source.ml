@@ -22,7 +22,15 @@ type pair = {
   ppoc : string;
   pell : string list option;  (** explicit shared functions, if curated *)
   pexpected : string option;  (** expected verdict class, if known *)
+  pvuln : string option;
+      (** the known-vulnerable function of S (the scan's probe
+          annotation; {!Registry.case.vuln_func} for curated pairs, the
+          family decoder for generated ones) *)
 }
+
+exception Malformed_manifest of string
+(** Raised by strict directory sources on an unparsable [.pair] manifest
+    (the argument is the offending path). *)
 
 type t = { src_id : string; pull : unit -> pair option }
 
@@ -50,6 +58,7 @@ let registry () =
                 ppoc = c.Registry.poc;
                 pell = None;
                 pexpected = Some (Registry.expected_to_string c.Registry.expected);
+                pvuln = Some c.Registry.vuln_func;
               });
   }
 
@@ -61,6 +70,7 @@ let pair_of_gen (g : Corpus.gen_pair) =
     ppoc = g.Corpus.gpoc;
     pell = None;
     pexpected = Some g.Corpus.gexpected;
+    pvuln = Some (Corpus.vuln_name g.Corpus.gfamily);
   }
 
 let generated ~seed ~count () =
@@ -125,6 +135,7 @@ let parse_manifest path =
               ppoc = c.Registry.poc;
               pell = None;
               pexpected = Some (Registry.expected_to_string c.Registry.expected);
+              pvuln = Some c.Registry.vuln_func;
             })
           (Registry.find_opt idx)
     | None -> (
@@ -133,7 +144,12 @@ let parse_manifest path =
             Some (pair_of_gen (Corpus.generate ~seed ~index))
         | _ -> None)
 
-let directory dir =
+(** [directory ?strict dir] streams the [.pair] manifests of [dir] in
+    sorted order.  A malformed manifest is skipped with a warning by
+    default; under [~strict:true] the pull raises {!Malformed_manifest}
+    instead — silent skips under-count a corpus, which a batch that
+    reports coverage statistics cannot afford. *)
+let directory ?(strict = false) dir =
   let names =
     Sys.readdir dir |> Array.to_list
     |> List.filter (fun n -> Filename.check_suffix n manifest_ext)
@@ -148,6 +164,7 @@ let directory dir =
         let path = Filename.concat dir n in
         match (try parse_manifest path with Sys_error _ -> None) with
         | Some p -> Some p
+        | None when strict -> raise (Malformed_manifest path)
         | None ->
             Logs.warn (fun m -> m "corpus: skipping malformed manifest %s" path);
             pull ())
@@ -167,8 +184,9 @@ let write_dir ~dir ~seed ~count =
   done
 
 (** Parse a [--corpus] spec: ["registry"], ["gen:COUNT[:SEED]"] (seed
-    defaults to 42), or a path to a corpus directory. *)
-let of_spec spec =
+    defaults to 42), or a path to a corpus directory ([strict] governs
+    malformed-manifest handling as in {!directory}). *)
+let of_spec ?strict spec =
   let invalid () =
     Error
       (Printf.sprintf
@@ -188,5 +206,5 @@ let of_spec spec =
         | Some c, Some s when c >= 0 -> Ok (generated ~seed:s ~count:c ())
         | _ -> invalid ())
     | _ -> invalid ()
-  else if Sys.file_exists spec && Sys.is_directory spec then Ok (directory spec)
+  else if Sys.file_exists spec && Sys.is_directory spec then Ok (directory ?strict spec)
   else invalid ()

@@ -13,6 +13,7 @@ let () =
       ("solver", Test_solver.suite);
       ("cfg", Test_cfg.suite);
       ("clone", Test_clone.suite);
+      ("detect", Test_detect.suite);
       ("taint", Test_taint.suite);
       ("symex", Test_symex.suite);
       ("formats", Test_formats.suite);
