@@ -667,6 +667,47 @@ let is_deterministic_key k =
          kl > sl && String.sub k (kl - sl) sl = suffix)
        history_counters
 
+(* Telemetry must not move the pipeline: pair 1's deterministic counter
+   deltas have to be identical with the sampler off and on (enabled into
+   a throwaway journal), and the disabled [tick] must stay at its
+   documented one-Atomic.get budget.  Counter diffs count as gate
+   regressions. *)
+module Telemetry = Octo_util.Telemetry
+
+let telemetry_overhead_gate () =
+  let counters_of () =
+    let was_on = Metrics.is_on () in
+    if not was_on then Metrics.enable ();
+    let c1 = Registry.find 1 in
+    let r = Octopocs.run ~s:c1.s ~t:c1.t ~poc:c1.poc () in
+    if not was_on then Metrics.disable ();
+    match r.Octopocs.metrics with
+    | None -> []
+    | Some m -> List.map (fun (c, k) -> (k, Metrics.counter_value m c)) history_counters
+  in
+  let off = counters_of () in
+  let path = Filename.temp_file "octo_bench_telemetry" ".jrnl" in
+  Telemetry.enable ~path ();
+  let on = counters_of () in
+  Telemetry.disable ();
+  (try Sys.remove path with Sys_error _ -> ());
+  let diffs = List.filter (fun (k, v) -> List.assoc_opt k on <> Some v) off in
+  List.iter
+    (fun (k, v) ->
+      say "  REGRESSION telemetry perturbs %s: %d (disabled) vs %s (enabled)" k v
+        (match List.assoc_opt k on with Some v' -> string_of_int v' | None -> "-"))
+    diffs;
+  let n = 1_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    Telemetry.tick (fun () -> assert false)
+  done;
+  let per_ns = (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e9 in
+  say "gate: telemetry disabled tick %.1f ns/call; pair-1 counters %s under sampling"
+    per_ns
+    (if diffs = [] then "unchanged" else "PERTURBED");
+  List.length diffs
+
 (* Returns the number of regressions (CI fails on > 0). *)
 let bench_gate () =
   say "";
@@ -680,7 +721,7 @@ let bench_gate () =
       say "gate: no baseline in %s — recording one now; commit %s to arm the gate"
         history_path history_path;
       bench_history ();
-      0
+      telemetry_overhead_gate ()
   | Some line ->
       let baseline = List.filter (fun (k, _) -> is_deterministic_key k) (parse_history_line line) in
       if baseline = [] then begin
@@ -716,7 +757,7 @@ let bench_gate () =
         (match List.assoc_opt "total_elapsed_s" timings with
         | Some t -> say "gate: total elapsed %.3fs (timings are non-gating)" t
         | None -> ());
-        !regressions
+        !regressions + telemetry_overhead_gate ()
       end
 
 (* ------------------------------------------------------------------ *)

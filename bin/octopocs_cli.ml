@@ -38,8 +38,11 @@ module Detect = Octo_clone.Detect
 module B = Octo_util.Bytes_util
 module Faultinject = Octo_util.Faultinject
 module Journal = Octo_util.Journal
+module Log = Octo_util.Log
 module Metrics = Octo_util.Metrics
+module Telemetry = Octo_util.Telemetry
 module Trace = Octo_util.Trace
+module Report = Octo_report.Report
 
 let say fmt = Format.printf (fmt ^^ "@.")
 
@@ -69,9 +72,8 @@ let config_for ?(dynamic = false) ?(spec = 1) ?(chaos_sites = []) ~deadline ~cha
    wrong for a user who typed both flags, so say it once, on stderr. *)
 let warn_spec_provenance ~spec ~provenance =
   if spec > 1 && provenance then
-    Format.eprintf
-      "octopocs: warning: speculation disabled under --provenance (--spec-jobs %d ignored)@."
-      spec
+    Log.warn (fun m ->
+        m "speculation disabled under --provenance (--spec-jobs %d ignored)" spec)
 
 (* A pair index from the command line is untrusted input: out-of-range or
    negative values get a one-line structured error and exit 2, never an
@@ -104,6 +106,21 @@ let with_observability ?(provenance = false) ~trace ~metrics f =
 
 let pp_pair_metrics ~indent (m : Metrics.snapshot) =
   say "%sphases  : %s" indent (Fmt.str "%a" Metrics.pp_phases m);
+  (* The same percentile extraction the report aggregator uses, so a pair's
+     breakdown and a later `report` over its journal quote identical
+     numbers (log2-bucket lower bounds, ns). *)
+  let pcts =
+    List.filter_map
+      (fun p ->
+        match Metrics.percentile m p 50.0 with
+        | None -> None
+        | Some p50 ->
+            let v pct = Option.value ~default:0 (Metrics.percentile m p pct) in
+            Some
+              (Printf.sprintf "%s=%d/%d/%d" (Metrics.phase_name p) p50 (v 90.0) (v 99.0)))
+      Metrics.all_phases
+  in
+  if pcts <> [] then say "%sp50/p90/p99: %s (ns)" indent (String.concat " " pcts);
   say "%scounters: %s" indent (Fmt.str "%a" Metrics.pp_counters m)
 
 let run_one ?(dynamic = false) ?deadline ?chaos_seed ?spec (c : Registry.case) :
@@ -213,6 +230,44 @@ let spec_jobs_arg =
                  to $(docv)-1 predicted retry attempts ahead on idle domains.  \
                  Verdicts and deterministic counters are identical to a serial run; \
                  ignored (forced to 1) while --provenance is on.  Default 1 (off).")
+
+(* Shared logging flags.  [apply_logging] runs first in every command body
+   so even flag-validation warnings respect the chosen threshold. *)
+let log_level_arg =
+  let level_conv =
+    Arg.enum
+      [ ("error", Log.Error); ("warn", Log.Warn); ("info", Log.Info); ("debug", Log.Debug) ]
+  in
+  Arg.(value & opt (some level_conv) None
+       & info [ "log-level" ] ~docv:"LEVEL"
+           ~doc:"Logging threshold: $(b,error), $(b,warn) (default), $(b,info) or \
+                 $(b,debug).  Overrides the OCTOPOCS_LOG environment variable.")
+
+let log_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "log-json" ] ~docv:"PATH"
+           ~doc:"Mirror every emitted log line to $(docv) as JSONL \
+                 ({\"ts\",\"level\",\"msg\"}), appending.")
+
+let apply_logging level json =
+  (match level with Some l -> Log.set_level l | None -> ());
+  match json with Some p -> Log.set_jsonl p | None -> ()
+
+let telemetry_arg =
+  Arg.(value & opt ~vopt:(Some "") (some string) None
+       & info [ "telemetry" ] ~docv:"PATH"
+           ~doc:"Sample run health (throughput, pool retries/stalls, parent and \
+                 child RSS, GC words, latency histograms) into an OTL1 journal \
+                 at $(docv) while the corpus streams; with no $(docv), defaults \
+                 to telemetry.jrnl beside the --journal.  Read it back with \
+                 $(b,octopocs report --telemetry).")
+
+let progress_arg =
+  Arg.(value & flag
+       & info [ "progress" ]
+           ~doc:"Render a live single-line progress meter (settled count, \
+                 recent throughput, ETA, quarantine count) on stderr.  \
+                 Automatically disabled when stderr is not a TTY.")
 
 let verify_cmd =
   let idx = Arg.(required & pos 0 (some int) None & info [] ~docv:"IDX") in
@@ -421,9 +476,124 @@ let open_stream_journals ~journal_path ~resume ~shards ~quarantine_path =
               sj_quarantined_prior = quarantined_prior;
             })
 
+(* Live progress meter: one stderr line redrawn in place — settled count,
+   recent throughput, ETA when the corpus size is known up front, and the
+   quarantine count.  Active only when stderr is a TTY: piped runs and CI
+   logs never see control characters.  The rate is measured against a
+   sliding anchor (re-based every ~2 s) so it tracks the run's current
+   phase rather than its lifetime average. *)
+module Progress = struct
+  type t = {
+    total : int option;
+    lock : Mutex.t;
+    mutable settled : int;
+    mutable quarantined : int;
+    mutable anchor_t : float;
+    mutable anchor_n : int;
+    mutable last_draw : float;
+    mutable active : bool;
+  }
+
+  let create ~enabled ~total () =
+    {
+      total;
+      lock = Mutex.create ();
+      settled = 0;
+      quarantined = 0;
+      anchor_t = Unix.gettimeofday ();
+      anchor_n = 0;
+      last_draw = 0.;
+      active = enabled && Unix.isatty Unix.stderr;
+    }
+
+  (* Redraws are throttled to ~10/s: settle callbacks can burst far past
+     what a terminal can usefully render. *)
+  let draw p =
+    let now = Unix.gettimeofday () in
+    if now -. p.last_draw >= 0.1 then begin
+      p.last_draw <- now;
+      let dt = now -. p.anchor_t in
+      let rate = if dt > 0.2 then float_of_int (p.settled - p.anchor_n) /. dt else 0. in
+      if dt > 2.0 then begin
+        p.anchor_t <- now;
+        p.anchor_n <- p.settled
+      end;
+      let frac =
+        match p.total with
+        | Some total -> Printf.sprintf "%d/%d" p.settled total
+        | None -> string_of_int p.settled
+      in
+      let eta =
+        match p.total with
+        | Some total when rate > 0. && total > p.settled ->
+            Printf.sprintf " eta %.0fs" (float_of_int (total - p.settled) /. rate)
+        | _ -> ""
+      in
+      Printf.eprintf "\r\027[K%s settled, %.1f pairs/s%s%s%!" frac rate eta
+        (if p.quarantined > 0 then Printf.sprintf ", %d quarantined" p.quarantined else "")
+    end
+
+  let step p =
+    if p.active then begin
+      Mutex.lock p.lock;
+      p.settled <- p.settled + 1;
+      draw p;
+      Mutex.unlock p.lock
+    end
+
+  let quar p =
+    if p.active then begin
+      Mutex.lock p.lock;
+      p.quarantined <- p.quarantined + 1;
+      draw p;
+      Mutex.unlock p.lock
+    end
+
+  (* Clear the meter line so the summary below starts on a clean row. *)
+  let finish p =
+    if p.active then begin
+      Mutex.lock p.lock;
+      p.active <- false;
+      Printf.eprintf "\r\027[K%!";
+      Mutex.unlock p.lock
+    end
+end
+
+(* Best-effort corpus size for the meter's ETA: exact for the registry
+   and gen:N corpora, a directory-entry count for manifest corpora. *)
+let corpus_total spec =
+  if spec = "registry" then Some (List.length Registry.all)
+  else
+    match String.split_on_char ':' spec with
+    | "gen" :: n :: _ -> int_of_string_opt n
+    | _ ->
+        if Sys.file_exists spec && Sys.is_directory spec then
+          Some
+            (Array.fold_left
+               (fun acc f -> if Filename.check_suffix f ".pair" then acc + 1 else acc)
+               0 (Sys.readdir spec))
+        else None
+
+(* Resolve --telemetry's path: explicit PATH as given; the bare flag
+   defaults to a journal-adjacent file (inside the shard directory, or
+   PATH.telemetry beside a single-file journal). *)
+let telemetry_path ~telemetry ~journal_path ~shards =
+  match telemetry with
+  | None -> Ok None
+  | Some p when p <> "" -> Ok (Some p)
+  | Some _ -> (
+      match journal_path with
+      | Some dir when shards > 1 -> Ok (Some (Filename.concat dir "telemetry.jrnl"))
+      | Some j -> Ok (Some (j ^ ".telemetry"))
+      | None ->
+          Error
+            (structured_error
+               "--telemetry without PATH requires --journal (the default telemetry \
+                file lives beside it)"))
+
 let run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~chaos_sites ~journal_path
     ~resume ~shards ~quarantine_path ~window ~poison ~spec ~isolate ~limits ~mem_watermark
-    ~metrics_on () =
+    ~metrics_on ~telemetry ~progress () =
   match Source.of_spec corpus with
   | Error msg -> structured_error "%s" msg
   | Ok src ->
@@ -435,6 +605,10 @@ let run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~chaos_sites ~journa
       match open_stream_journals ~journal_path ~resume ~shards ~quarantine_path with
       | Error code -> code
       | Ok sj ->
+          (* Enable only after the journal setup succeeded: a refused
+             clobber must not truncate an existing telemetry file. *)
+          (match telemetry with Some path -> Telemetry.enable ~path () | None -> ());
+          let prog = Progress.create ~enabled:progress ~total:(corpus_total corpus) () in
           let jw = sj.sj_writer in
           let qw = sj.sj_quarantine in
           let replayed = sj.sj_replayed in
@@ -491,16 +665,18 @@ let run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~chaos_sites ~journa
             | No_journal -> ()
             | Single w -> Journal.append w (Octopocs.encode_result ~label ~key r)
             | Dir w -> Journal.Sharded.append w ~key (Octopocs.encode_result ~label ~key r));
-            tally ?expected r
+            tally ?expected r;
+            Progress.step prog
           in
           let on_quarantine (q : Octopocs.quarantine) =
             ignore (take_inflight q.Octopocs.qlabel);
             (match qw with
             | Some w -> Journal.append w (Octopocs.encode_quarantine q)
             | None -> ());
-            Logs.warn (fun m ->
+            Log.warn (fun m ->
                 m "quarantined %s after %d attempt(s): %s: %s" q.Octopocs.qlabel
-                  q.Octopocs.qattempts q.Octopocs.qreason q.Octopocs.qmessage)
+                  q.Octopocs.qattempts q.Octopocs.qreason q.Octopocs.qmessage);
+            Progress.quar prog
           in
           (* The pull thunk: skip pairs already settled (same content key)
              or already quarantined, admit the rest.  Tail-recursive — a
@@ -542,6 +718,8 @@ let run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~chaos_sites ~journa
               ?mem_watermark_mb:mem_watermark ?pre_run:oom_pre_run ~on_settle
               ~on_quarantine next_job
           in
+          Telemetry.disable ();
+          Progress.finish prog;
           close_stream_journals sj;
           let elapsed = Unix.gettimeofday () -. t0 in
           say "corpus  : %s  pulled=%d settled=%d quarantined=%d cached=%d%s peak-in-flight=%d deferred=%d"
@@ -570,7 +748,8 @@ let run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~chaos_sites ~journa
 
 let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall_grace trace
     metrics_on provenance_on spec corpus shards quarantine_path window poison isolate
-    rlimit_as rlimit_cpu mem_watermark chaos_sites =
+    rlimit_as rlimit_cpu mem_watermark chaos_sites telemetry progress log_level log_json =
+  apply_logging log_level log_json;
   warn_spec_provenance ~spec ~provenance:provenance_on;
   let streaming =
     corpus <> "registry" || shards > 1 || quarantine_path <> None || window <> None
@@ -598,11 +777,18 @@ let run_all jobs retries deadline chaos_seed journal_path resume fail_fast stall
        covers wedged children)"
   else if isolate = Octopocs.Processes && spec > 1 then
     structured_error "--spec-jobs is not supported with --isolate proc"
-  else if streaming then
-    with_observability ~provenance:provenance_on ~trace ~metrics:metrics_on (fun () ->
-        run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~chaos_sites ~journal_path
-          ~resume ~shards ~quarantine_path ~window ~poison ~spec ~isolate ~limits
-          ~mem_watermark ~metrics_on ())
+  else if (not streaming) && telemetry <> None then
+    structured_error "--telemetry is only supported in streaming corpus mode"
+  else if (not streaming) && progress then
+    structured_error "--progress is only supported in streaming corpus mode"
+  else if streaming then (
+    match telemetry_path ~telemetry ~journal_path ~shards with
+    | Error code -> code
+    | Ok tpath ->
+        with_observability ~provenance:provenance_on ~trace ~metrics:metrics_on (fun () ->
+            run_corpus ~corpus ~jobs ~retries ~deadline ~chaos_seed ~chaos_sites
+              ~journal_path ~resume ~shards ~quarantine_path ~window ~poison ~spec ~isolate
+              ~limits ~mem_watermark ~metrics_on ~telemetry:tpath ~progress ()))
   else begin
     with_observability ~provenance:provenance_on ~trace ~metrics:metrics_on @@ fun () ->
     (* Baseline for the batch's pool-level counters: metrics cells live for
@@ -914,7 +1100,8 @@ let verify_all_cmd =
     Term.(const run_all $ jobs $ retries $ deadline_arg $ chaos_seed_arg $ journal $ resume
           $ fail_fast $ stall_grace $ trace_arg $ metrics_arg $ provenance_arg
           $ spec_jobs_arg $ corpus $ shards $ quarantine $ window $ poison $ isolate
-          $ rlimit_as $ rlimit_cpu $ mem_watermark $ chaos_sites)
+          $ rlimit_as $ rlimit_cpu $ mem_watermark $ chaos_sites $ telemetry_arg
+          $ progress_arg $ log_level_arg $ log_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* scan: the clone-detection front-end.  Instead of verifying annotated
@@ -928,7 +1115,9 @@ let verify_all_cmd =
 
 let run_scan corpus strict decoys decoy_seed shingle_k winnow_w tau_retrieve tau_confirm
     top no_verify min_recall jobs retries deadline journal_path resume shards
-    quarantine_path window isolate rlimit_as rlimit_cpu mem_watermark =
+    quarantine_path window isolate rlimit_as rlimit_cpu mem_watermark telemetry progress
+    log_level log_json =
+  apply_logging log_level log_json;
   let limits = { Octo_util.Sandbox.as_mb = rlimit_as; cpu_s = rlimit_cpu } in
   if resume && journal_path = None then structured_error "--resume requires --journal PATH"
   else if shards < 1 then structured_error "--shards must be >= 1"
@@ -946,6 +1135,9 @@ let run_scan corpus strict decoys decoy_seed shingle_k winnow_w tau_retrieve tau
       (tau_retrieve > 0.0 && tau_retrieve <= 1.0 && tau_confirm > 0.0 && tau_confirm <= 1.0)
   then structured_error "--tau-retrieve/--tau-confirm must be in (0, 1]"
   else if top < 0 then structured_error "--top must be >= 0"
+  else if no_verify && (telemetry <> None || progress) then
+    structured_error
+      "--telemetry/--progress instrument the verification stage (drop --no-verify)"
   else
     match Source.of_spec ~strict corpus with
     | Error msg -> structured_error "%s" msg
@@ -1021,9 +1213,13 @@ let run_scan corpus strict decoys decoy_seed shingle_k winnow_w tau_retrieve tau
                     end)
                   result.Scan.candidates
               in
+              match telemetry_path ~telemetry ~journal_path ~shards with
+              | Error code -> code
+              | Ok tpath -> (
               match open_stream_journals ~journal_path ~resume ~shards ~quarantine_path with
               | Error code -> code
               | Ok sj ->
+                  (match tpath with Some path -> Telemetry.enable ~path () | None -> ());
                   let settled_prior : (string, string * Octopocs.report) Hashtbl.t =
                     Hashtbl.create (List.length sj.sj_replayed)
                   in
@@ -1077,6 +1273,9 @@ let run_scan corpus strict decoys decoy_seed shingle_k winnow_w tau_retrieve tau
                           | _ -> Some job)
                       jobs_list
                   in
+                  let prog =
+                    Progress.create ~enabled:progress ~total:(Some (List.length to_run)) ()
+                  in
                   let on_settle j (r : Octopocs.report) =
                     if settle_delay_s > 0. then Unix.sleepf settle_delay_s;
                     let label = Octopocs.job_label j in
@@ -1090,15 +1289,17 @@ let run_scan corpus strict decoys decoy_seed shingle_k winnow_w tau_retrieve tau
                     | Single w -> Journal.append w (Octopocs.encode_result ~label ~key r)
                     | Dir w ->
                         Journal.Sharded.append w ~key (Octopocs.encode_result ~label ~key r));
-                    tally ?expected r
+                    tally ?expected r;
+                    Progress.step prog
                   in
                   let on_quarantine (q : Octopocs.quarantine) =
                     (match sj.sj_quarantine with
                     | Some w -> Journal.append w (Octopocs.encode_quarantine q)
                     | None -> ());
-                    Logs.warn (fun m ->
+                    Log.warn (fun m ->
                         m "quarantined %s after %d attempt(s): %s: %s" q.Octopocs.qlabel
-                          q.Octopocs.qattempts q.Octopocs.qreason q.Octopocs.qmessage)
+                          q.Octopocs.qattempts q.Octopocs.qreason q.Octopocs.qmessage);
+                    Progress.quar prog
                   in
                   let st =
                     Octopocs.run_stream ~jobs ~retries ?window ~isolate ~limits
@@ -1106,6 +1307,8 @@ let run_scan corpus strict decoys decoy_seed shingle_k winnow_w tau_retrieve tau
                       ~on_quarantine
                       (Octopocs.stream_of_list to_run)
                   in
+                  Telemetry.disable ();
+                  Progress.finish prog;
                   close_stream_journals sj;
                   let elapsed = Unix.gettimeofday () -. t0 in
                   say "verify  : candidates=%d settled=%d quarantined=%d cached=%d%s"
@@ -1123,7 +1326,7 @@ let run_scan corpus strict decoys decoy_seed shingle_k winnow_w tau_retrieve tau
                     (match isolate with
                     | Octopocs.Domains -> "domain(s)"
                     | Octopocs.Processes -> "process(es)");
-                  max !worst (if recall_bad then 1 else 0)
+                  max !worst (if recall_bad then 1 else 0))
             end))
 
 let scan_cmd =
@@ -1274,7 +1477,8 @@ let scan_cmd =
     Term.(const run_scan $ corpus $ strict $ decoys $ decoy_seed $ shingle_k $ winnow_w
           $ tau_retrieve $ tau_confirm $ top $ no_verify $ min_recall $ jobs $ retries
           $ deadline_arg $ journal $ resume $ shards $ quarantine $ window $ isolate
-          $ rlimit_as $ rlimit_cpu $ mem_watermark)
+          $ rlimit_as $ rlimit_cpu $ mem_watermark $ telemetry_arg $ progress_arg
+          $ log_level_arg $ log_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain: render the causal evidence behind one verdict.  The live form
@@ -1489,6 +1693,41 @@ let journal_cmd =
     Term.(const journal_dump $ path)
 
 (* ------------------------------------------------------------------ *)
+(* report: aggregate a run's durable state into one deterministic
+   document.  The journal-only form is byte-identical across equivalent
+   runs (CI diffs two independent seeded runs); the telemetry section is
+   opt-in because its timestamps are real time. *)
+
+let report_run journal telemetry =
+  match Report.of_files_rendered ~journal ?telemetry () with
+  | Ok doc ->
+      print_string doc;
+      0
+  | Error msg -> structured_error "%s" msg
+
+let report_cmd =
+  let journal =
+    Arg.(required & opt (some string) None
+         & info [ "journal" ] ~docv:"PATH"
+             ~doc:"Verdict journal to aggregate: a single file, or a sharded journal \
+                   directory (its quarantine.jrnl is folded in automatically).")
+  in
+  let telemetry =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry" ] ~docv:"PATH"
+             ~doc:"Also summarise an OTL1 telemetry journal: sample count, pool \
+                   pressure, peak RSS, throughput curve.  Off by default — telemetry \
+                   carries real timings, and the journal-only report is \
+                   byte-identical across equivalent runs.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Aggregate a run's journals into a deterministic report: verdict classes, \
+             degradation rungs, quarantine reasons, per-phase latency percentiles \
+             and (with --telemetry) the run-health summary")
+    Term.(const report_run $ journal $ telemetry)
+
+(* ------------------------------------------------------------------ *)
 (* corpus: materialise a generated-corpus description as a directory of
    one-pair manifests (a few bytes per pair — the programs are regenerated
    from the coordinates at verification time). *)
@@ -1579,10 +1818,10 @@ let trace_cmd =
     Term.(const trace_validate $ path)
 
 let () =
-  (* Pool/worker diagnostics (swallowed task exceptions, retry notices) go
-     through Logs; without a reporter they would be invisible. *)
-  Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level (Some Logs.Warning);
+  (* Pool/worker diagnostics (swallowed task exceptions, retry notices,
+     quarantine warnings) go through the leveled Log module, whose stderr
+     sink needs no setup; OCTOPOCS_LOG / --log-level move the threshold
+     and --log-json mirrors the stream to a JSONL file. *)
   let info = Cmd.info "octopocs" ~doc:"Verify propagated vulnerable code with reformed PoCs" in
   (* ~catch:false so an unexpected exception maps to the documented tool-
      crash exit code instead of cmdliner's 125. *)
@@ -1591,7 +1830,7 @@ let () =
       (Cmd.group info
          [
            verify_cmd; verify_all_cmd; scan_cmd; explain_cmd; inspect_cmd; fuzz_cmd;
-           journal_cmd; corpus_cmd; trace_cmd;
+           journal_cmd; report_cmd; corpus_cmd; trace_cmd;
          ])
   with
   | code -> exit code

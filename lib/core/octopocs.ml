@@ -29,8 +29,10 @@ module Sym_state = Octo_symex.Sym_state
 module Clone = Octo_clone.Clone
 module Deadline = Octo_util.Deadline
 module Faultinject = Octo_util.Faultinject
+module Log = Octo_util.Log
 module Metrics = Octo_util.Metrics
 module Sandbox = Octo_util.Sandbox
+module Telemetry = Octo_util.Telemetry
 module Trace = Octo_util.Trace
 module Provenance = Provenance
 
@@ -1248,7 +1250,7 @@ let proc_stream ~(config : config) ~retries ~window ?limits ?mem_watermark_mb ?p
     | Some f -> (
         try f j r
         with e ->
-          Logs.err (fun m ->
+          Log.err (fun m ->
               m "run_stream: on_settle for %s raised %s" j.label (Printexc.to_string e)))
   in
   let spawn_job (j, k, was_deferred) =
@@ -1275,7 +1277,8 @@ let proc_stream ~(config : config) ~retries ~window ?limits ?mem_watermark_mb ?p
     let j = e.aj and k = e.ak in
     if k < retries then begin
       Metrics.incr Metrics.Pool_retries;
-      Logs.warn (fun m ->
+      Telemetry.note_retry ();
+      Log.warn (fun m ->
           m "run_stream: %s child died (%s: %s); retrying (%d/%d)" j.label reason message
             (k + 1) retries);
       Octo_util.Pool.backoff_sleep ~key:(Hashtbl.hash j.label) ~attempt:(k + 1) ();
@@ -1297,7 +1300,7 @@ let proc_stream ~(config : config) ~retries ~window ?limits ?mem_watermark_mb ?p
           incr quarantined;
           try f q
           with qe ->
-            Logs.err (fun m ->
+            Log.err (fun m ->
                 m "run_stream: on_quarantine for %s raised %s" j.label
                   (Printexc.to_string qe)))
       | None ->
@@ -1316,6 +1319,7 @@ let proc_stream ~(config : config) ~retries ~window ?limits ?mem_watermark_mb ?p
   in
   let handle_death e (death, maxrss_kb) =
     Sandbox.Admission.note_child_rss adm maxrss_kb;
+    Telemetry.note_child_rss maxrss_kb;
     match death with
     | Sandbox.Clean payload -> (
         match decode_result payload with
@@ -1357,6 +1361,15 @@ let proc_stream ~(config : config) ~retries ~window ?limits ?mem_watermark_mb ?p
         retry_or_quarantine e ~reason:"worker crashed"
           ~message:("child died unexpectedly: " ^ why) ~rung:"child-other"
   in
+  let progress_cut () =
+    {
+      Telemetry.pulled = !pulled;
+      settled = !settled;
+      quarantined = !quarantined;
+      in_flight = List.length !active;
+      window;
+    }
+  in
   let try_admit () =
     let stop = ref false in
     while not !stop do
@@ -1369,7 +1382,8 @@ let proc_stream ~(config : config) ~retries ~window ?limits ?mem_watermark_mb ?p
             if not !deferring then begin
               deferring := true;
               incr deferrals;
-              Metrics.incr Metrics.Admission_deferrals
+              Metrics.incr Metrics.Admission_deferrals;
+              Telemetry.note_deferral ()
             end;
             stop := true
         | `Admit -> (
@@ -1402,10 +1416,14 @@ let proc_stream ~(config : config) ~retries ~window ?limits ?mem_watermark_mb ?p
       in
       active := still;
       List.iter (fun e -> handle_death e (Sandbox.reap e.ac)) finished;
+      (* The 0.05 s select timeout gives the sampler a steady cadence
+         even while every child is quiet. *)
+      Telemetry.tick (fun () -> progress_cut ());
       loop ()
     end
   in
   loop ();
+  Telemetry.sample_now (progress_cut ());
   {
     st_pulled = !pulled;
     st_settled = !settled;
@@ -1474,7 +1492,7 @@ let run_stream ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?window
     | Some f -> (
         try f j r
         with e ->
-          Logs.err (fun m ->
+          Log.err (fun m ->
               m "run_stream: on_settle for %s raised %s" j.label (Printexc.to_string e)))
   in
   let stall_message e =
@@ -1504,7 +1522,7 @@ let run_stream ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?window
           f q;
           `Quarantined
         with qe ->
-          Logs.err (fun m ->
+          Log.err (fun m ->
               m "run_stream: on_quarantine for %s raised %s" j.label (Printexc.to_string qe));
           `Quarantined)
     | None ->
@@ -1532,7 +1550,8 @@ let run_stream ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?window
                 let bt = Printexc.get_raw_backtrace () in
                 if k < retries then begin
                   Metrics.incr Metrics.Pool_retries;
-                  Logs.warn (fun m ->
+                  Telemetry.note_retry ();
+                  Log.warn (fun m ->
                       m "run_stream: %s raised %s; retrying (%d/%d)" j.label
                         (Printexc.to_string e) (k + 1) retries);
                   Octo_util.Pool.backoff_sleep ~key:bkey ~attempt:(k + 1) ();
@@ -1545,9 +1564,25 @@ let run_stream ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?window
                 end
           in
           attempt 0;
+          Telemetry.tick (fun () ->
+              {
+                Telemetry.pulled = !pulled;
+                settled = !settled;
+                quarantined = !quarantined;
+                in_flight = 1;
+                window = 1;
+              });
           drain ()
     in
     drain ();
+    Telemetry.sample_now
+      {
+        Telemetry.pulled = !pulled;
+        settled = !settled;
+        quarantined = !quarantined;
+        in_flight = 0;
+        window = 1;
+      };
     {
       st_pulled = !pulled;
       st_settled = !settled;
@@ -1565,7 +1600,18 @@ let run_stream ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?window
       Mutex.lock lock;
       decr in_flight;
       Condition.signal slot_free;
-      Mutex.unlock lock
+      Mutex.unlock lock;
+      (* Every completion is a tick opportunity; the counter reads are
+         deliberately unlocked (a sample is a statistical cut, and OCaml 5
+         unsynchronized int reads are stale at worst, never garbage). *)
+      Telemetry.tick (fun () ->
+          {
+            Telemetry.pulled = !pulled;
+            settled = !settled;
+            quarantined = !quarantined;
+            in_flight = !in_flight;
+            window;
+          })
     in
     let rec task j k () =
       match one j with
@@ -1579,7 +1625,8 @@ let run_stream ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?window
           let bt = Printexc.get_raw_backtrace () in
           if k < retries then begin
             Metrics.incr Metrics.Pool_retries;
-            Logs.warn (fun m ->
+            Telemetry.note_retry ();
+            Log.warn (fun m ->
                 m "run_stream: %s raised %s; retrying (%d/%d)" j.label (Printexc.to_string e)
                   (k + 1) retries);
             Octo_util.Pool.backoff_sleep ~key:(Hashtbl.hash j.label) ~attempt:(k + 1) ();
@@ -1626,6 +1673,14 @@ let run_stream ?(config = default_config) ?(jobs = 1) ?(retries = 0) ?window
     done;
     Mutex.unlock lock;
     Octo_util.Pool.shutdown pool;
+    Telemetry.sample_now
+      {
+        Telemetry.pulled = !pulled;
+        settled = !settled;
+        quarantined = !quarantined;
+        in_flight = 0;
+        window;
+      };
     {
       st_pulled = !pulled;
       st_settled = !settled;

@@ -1,0 +1,222 @@
+(* Deterministic run-report aggregation.
+
+   [of_files] folds a run's durable state — the verdict journal (single
+   file or sharded directory), the quarantine journal beside it, and
+   optionally the OTL1 telemetry journal — into one plain-text document:
+   verdict-class breakdown, degradation-rung frequencies, quarantine
+   reasons, p50/p90/p99 per-phase latencies off the journaled log2
+   histograms, and a throughput summary from the telemetry samples.
+
+   Determinism contract: the rendering is a pure function of the input
+   file bytes.  No paths, wall-clock times, hostnames or map iteration
+   orders leak in — class order is fixed, every other breakdown is
+   sorted lexicographically, and verdict dedup/ordering reuses the
+   journal dump's rules ([Octopocs.sort_dump], last record per label
+   wins).  Two invocations over the same files are byte-identical; two
+   *independent* runs of the same seeded corpus agree too, as long as
+   the report sticks to journal-derived sections (telemetry timestamps
+   and latency histograms are real time, which is why the telemetry
+   section only appears when a telemetry file is explicitly given, and
+   why the latency section reads "(no metrics journaled)" unless the
+   run recorded them). *)
+
+module Journal = Octo_util.Journal
+module Metrics = Octo_util.Metrics
+module Telemetry = Octo_util.Telemetry
+
+type t = {
+  verdicts : (string * string * Octopocs.report) list;
+      (** deduped (last record per label wins) and [sort_dump]-ordered *)
+  undecodable : int;  (** intact frames [decode_result] rejected *)
+  shards : int;  (** 0 for a single-file journal *)
+  torn : int;  (** torn/corrupt tails dropped (0 or 1 for a file) *)
+  quarantine : Octopocs.quarantine list;  (** deduped, sorted by label *)
+  telemetry : Telemetry.replay option;
+}
+
+(* -- loading ----------------------------------------------------------- *)
+
+let verdicts_of_records records =
+  let tbl : (string, string * Octopocs.report) Hashtbl.t = Hashtbl.create 31 in
+  let undecodable = ref 0 in
+  List.iter
+    (fun payload ->
+      match Octopocs.decode_result payload with
+      | Some (label, key, rep) -> Hashtbl.replace tbl label (key, rep)
+      | None -> incr undecodable)
+    records;
+  let entries =
+    Octopocs.sort_dump (Hashtbl.fold (fun l (k, rep) acc -> (l, k, rep) :: acc) tbl [])
+  in
+  (entries, !undecodable)
+
+let quarantine_of_path path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let tbl : (string, Octopocs.quarantine) Hashtbl.t = Hashtbl.create 7 in
+    List.iter
+      (fun payload ->
+        match Octopocs.decode_quarantine payload with
+        | Some q -> Hashtbl.replace tbl q.Octopocs.qlabel q
+        | None -> ())
+      (Journal.replay path).Journal.records;
+    Hashtbl.fold (fun _ q acc -> q :: acc) tbl []
+    |> List.sort (fun (a : Octopocs.quarantine) b ->
+           compare a.Octopocs.qlabel b.Octopocs.qlabel)
+  end
+
+let of_files ~journal ?telemetry () : (t, string) result =
+  if not (Sys.file_exists journal) then Error (Printf.sprintf "no such journal: %s" journal)
+  else begin
+    let loaded =
+      if Sys.is_directory journal then
+        match Journal.Sharded.replay_merged journal with
+        | exception Failure msg -> Error msg
+        | m ->
+            Ok
+              ( m.Journal.Sharded.mrecords,
+                m.Journal.Sharded.mshards,
+                m.Journal.Sharded.mtorn,
+                quarantine_of_path (Filename.concat journal "quarantine.jrnl") )
+      else
+        let r = Journal.replay journal in
+        Ok (r.Journal.records, 0, (if r.Journal.torn then 1 else 0), [])
+    in
+    match loaded with
+    | Error msg -> Error msg
+    | Ok (records, shards, torn, quarantine) ->
+        let verdicts, undecodable = verdicts_of_records records in
+        let telemetry =
+          match telemetry with
+          | None -> None
+          | Some p ->
+              if Sys.file_exists p then Some (Telemetry.replay p)
+              else Some { Telemetry.samples = []; undecodable = 0; torn = false }
+        in
+        Ok { verdicts; undecodable; shards; torn; quarantine; telemetry }
+  end
+
+(* -- aggregation helpers ----------------------------------------------- *)
+
+(* Fold occurrences into sorted (key, count) rows — the one shape every
+   breakdown below shares.  Sorting by key (not count) is a determinism
+   rule: counts tie, names don't. *)
+let tally xs =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 7 in
+  List.iter
+    (fun k -> Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    xs;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let classes = [ "Type-I"; "Type-II"; "Type-III"; "Failure" ]
+
+(* -- rendering --------------------------------------------------------- *)
+
+let render (r : t) : string =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "octopocs run report";
+  line "===================";
+  line "";
+  line "verdicts: %d pair(s)%s%s%s" (List.length r.verdicts)
+    (if r.shards > 0 then Printf.sprintf " across %d shard(s)" r.shards else "")
+    (if r.undecodable > 0 then Printf.sprintf ", %d undecodable record(s)" r.undecodable
+     else "")
+    (if r.torn > 0 then Printf.sprintf ", %d torn tail(s) dropped" r.torn else "");
+  let by_class =
+    tally (List.map (fun (_, _, rep) -> Octopocs.verdict_class rep.Octopocs.verdict) r.verdicts)
+  in
+  List.iter
+    (fun c ->
+      match List.assoc_opt c by_class with
+      | Some n -> line "  %-22s %6d" c n
+      | None -> ())
+    classes;
+  (* A journal written by a future release may class verdicts we don't
+     know; surface them rather than silently dropping the count. *)
+  List.iter
+    (fun (c, n) -> if not (List.mem c classes) then line "  %-22s %6d" c n)
+    by_class;
+  line "";
+  line "degradation rungs:";
+  let rungs =
+    tally (List.concat_map (fun (_, _, rep) -> rep.Octopocs.degradations) r.verdicts)
+  in
+  if rungs = [] then line "  (none)"
+  else List.iter (fun (rung, n) -> line "  %-22s %6d" rung n) rungs;
+  line "";
+  line "quarantine: %d pair(s)" (List.length r.quarantine);
+  List.iter
+    (fun (reason, n) -> line "  %-22s %6d" reason n)
+    (tally (List.map (fun (q : Octopocs.quarantine) -> q.Octopocs.qreason) r.quarantine));
+  line "";
+  line "phase latencies (p50/p90/p99 ns, log2-bucket lower bounds):";
+  let snaps = List.filter_map (fun (_, _, rep) -> rep.Octopocs.metrics) r.verdicts in
+  if snaps = [] then line "  (no metrics journaled)"
+  else begin
+    let sum = Metrics.sum snaps in
+    List.iter
+      (fun p ->
+        match Metrics.percentile sum p 50.0 with
+        | None -> line "  %-10s (no spans)" (Metrics.phase_name p)
+        | Some p50 ->
+            let pc pct = Option.value ~default:0 (Metrics.percentile sum p pct) in
+            line "  %-10s %10d / %10d / %10d  (%d span(s))" (Metrics.phase_name p) p50
+              (pc 90.0) (pc 99.0) (Metrics.phase_spans sum p))
+      Metrics.all_phases
+  end;
+  (match r.telemetry with
+  | None -> ()
+  | Some t ->
+      line "";
+      line "telemetry: %d sample(s)%s%s" (List.length t.Telemetry.samples)
+        (if t.Telemetry.undecodable > 0 then
+           Printf.sprintf ", %d undecodable frame(s)" t.Telemetry.undecodable
+         else "")
+        (if t.Telemetry.torn then ", torn tail dropped" else "");
+      match (t.Telemetry.samples, List.rev t.Telemetry.samples) with
+      | [], _ | _, [] -> ()
+      | first :: _, last :: _ ->
+          let s = last in
+          line "  span                   %.3f s"
+            (float_of_int (s.Telemetry.ts_ns - first.Telemetry.ts_ns) /. 1e9);
+          line "  pulled/settled/quar    %d / %d / %d" s.Telemetry.pulled s.Telemetry.settled
+            s.Telemetry.quarantined;
+          line "  retries/stalls         %d / %d" s.Telemetry.retries s.Telemetry.stalls;
+          line "  backoffs/deferrals     %d / %d" s.Telemetry.backoffs s.Telemetry.deferrals;
+          let peak f = List.fold_left (fun acc x -> max acc (f x)) 0 t.Telemetry.samples in
+          line "  peak rss (parent)      %d KiB" (peak (fun x -> x.Telemetry.rss_kb));
+          line "  peak rss (child max)   %d KiB" (peak (fun x -> x.Telemetry.child_rss_kb));
+          line "  peak in-flight         %d of window %d"
+            (peak (fun x -> x.Telemetry.in_flight))
+            (peak (fun x -> x.Telemetry.window));
+          (* Throughput curve: overall rate plus the steepest inter-sample
+             segment — enough to see a run that front-loaded or stalled. *)
+          let span_s = float_of_int (s.Telemetry.ts_ns - first.Telemetry.ts_ns) /. 1e9 in
+          if span_s > 0. && s.Telemetry.settled > first.Telemetry.settled then begin
+            line "  throughput (overall)   %.1f pairs/s"
+              (float_of_int (s.Telemetry.settled - first.Telemetry.settled) /. span_s);
+            let best = ref 0. in
+            ignore
+              (List.fold_left
+                 (fun prev x ->
+                   (match prev with
+                   | Some (p : Telemetry.sample) when x.Telemetry.ts_ns > p.Telemetry.ts_ns
+                     ->
+                       let rate =
+                         float_of_int (x.Telemetry.settled - p.Telemetry.settled)
+                         /. (float_of_int (x.Telemetry.ts_ns - p.Telemetry.ts_ns) /. 1e9)
+                       in
+                       if rate > !best then best := rate
+                   | _ -> ());
+                   Some x)
+                 None t.Telemetry.samples);
+            line "  throughput (peak)      %.1f pairs/s" !best
+          end);
+  Buffer.contents b
+
+let of_files_rendered ~journal ?telemetry () =
+  match of_files ~journal ?telemetry () with
+  | Error msg -> Error msg
+  | Ok r -> Ok (render r)

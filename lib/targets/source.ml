@@ -15,6 +15,8 @@
 
     {!of_spec} parses the CLI's [--corpus] argument into a source. *)
 
+module Log = Octo_util.Log
+
 type pair = {
   plabel : string;  (** journal/display label; unique within a source *)
   ps : Octo_vm.Isa.program;
@@ -166,7 +168,7 @@ let directory ?(strict = false) dir =
         | Some p -> Some p
         | None when strict -> raise (Malformed_manifest path)
         | None ->
-            Logs.warn (fun m -> m "corpus: skipping malformed manifest %s" path);
+            Log.warn (fun m -> m "corpus: skipping malformed manifest %s" path);
             pull ())
   in
   { src_id = "dir:" ^ dir; pull }

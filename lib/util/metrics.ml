@@ -269,6 +269,39 @@ let phase_hist_bucket s p i =
   if i < 0 || i >= nbuckets then invalid_arg "Metrics.phase_hist_bucket";
   s.phase_hist.((phase_index p * nbuckets) + i)
 
+(* [percentile s p pct] reads the pct-th percentile (0 < pct <= 100) of
+   phase [p]'s span latencies off the log2 histogram: the lower bound
+   [2^i] ns of the bucket holding the rank-⌈pct/100·total⌉ span, [None]
+   when no spans were recorded.  Exact to within the bucket's 2x width,
+   which is all a log2 histogram ever promises — but deterministic,
+   allocation-free, and shared by the [--metrics] breakdown and the
+   [report] aggregator so both quote identical numbers. *)
+let percentile s p pct =
+  if not (pct > 0. && pct <= 100.) then invalid_arg "Metrics.percentile";
+  let base = phase_index p * nbuckets in
+  let total = ref 0 in
+  for i = 0 to nbuckets - 1 do
+    total := !total + s.phase_hist.(base + i)
+  done;
+  if !total = 0 then None
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (pct /. 100. *. float_of_int !total)) in
+      max 1 (min r !total)
+    in
+    let acc = ref 0 and found = ref 0 in
+    (try
+       for i = 0 to nbuckets - 1 do
+         acc := !acc + s.phase_hist.(base + i);
+         if !acc >= rank then begin
+           found := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    Some (1 lsl !found)
+  end
+
 (* -- pretty-printing --------------------------------------------------- *)
 
 let pp_counters ppf s =

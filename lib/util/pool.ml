@@ -100,7 +100,7 @@ let run_logged task =
     (* A worker must survive any task, but a crash must never be
        invisible: report it with its backtrace before moving on. *)
     let bt = Printexc.get_raw_backtrace () in
-    Logs.err (fun m ->
+    Log.err (fun m ->
         m "Pool: worker task raised %s@.%s" (Printexc.to_string e)
           (Printexc.raw_backtrace_to_string bt))
 
@@ -318,6 +318,7 @@ let backoff_delay ?(base_s = 0.002) ?(cap_s = 0.100) ~key ~attempt () =
 (* Sleep the backoff for retry [attempt] of task [key] and count it. *)
 let backoff_sleep ?base_s ?cap_s ~key ~attempt () =
   Metrics.incr Metrics.Pool_backoffs;
+  Telemetry.note_backoff ();
   Unix.sleepf (backoff_delay ?base_s ?cap_s ~key ~attempt ())
 
 (* One task attempt with bounded retry: transient faults (a worker hiccup,
@@ -333,7 +334,8 @@ let run_task ?(bkey = 0) ~retries f x =
         let bt = Printexc.get_raw_backtrace () in
         if k < retries then begin
           Metrics.incr Metrics.Pool_retries;
-          Logs.warn (fun m ->
+          Telemetry.note_retry ();
+          Log.warn (fun m ->
               m "Pool: task raised %s; retrying (%d/%d)" (Printexc.to_string e) (k + 1) retries);
           backoff_sleep ~key:bkey ~attempt:(k + 1) ();
           attempt (k + 1)
@@ -372,7 +374,7 @@ let run_settle_cb on_settle i r =
   | Some cb -> (
       try cb i r
       with e ->
-        Logs.err (fun m -> m "Pool: on_settle for item %d raised %s" i (Printexc.to_string e)))
+        Log.err (fun m -> m "Pool: on_settle for item %d raised %s" i (Printexc.to_string e)))
 
 (* Watchdog bookkeeping, one slot per item, all guarded by the map's lock.
    [wgen] is the current attempt's id: a requeue bumps it, turning the
@@ -463,7 +465,7 @@ let map_result_watchdog ~retries ~grace ~on_settle pool f items =
                retry.  Tagged distinctly from a live crash — this exception
                was raised after the attempt's heartbeat went silent. *)
             Mutex.unlock lock;
-            Logs.debug (fun m ->
+            Log.debug (fun m ->
                 m
                   "Pool: task %d raised %s after its heartbeat went silent \
                    (attempt superseded; not a retry)"
@@ -478,7 +480,8 @@ let map_result_watchdog ~retries ~grace ~on_settle pool f items =
             s.wstate <- `Queued;
             Mutex.unlock lock;
             Metrics.incr Metrics.Pool_retries;
-            Logs.warn (fun m ->
+            Telemetry.note_retry ();
+            Log.warn (fun m ->
                 m "Pool: task %d raised %s; retrying (%d/%d)" i (Printexc.to_string e) a
                   retries);
             (* Back off before requeueing: a transient fault (contended
@@ -522,7 +525,8 @@ let map_result_watchdog ~retries ~grace ~on_settle pool f items =
             List.iter
               (fun (i, g, a) ->
                 Metrics.incr Metrics.Pool_retries;
-                Logs.warn (fun m ->
+                Telemetry.note_retry ();
+                Log.warn (fun m ->
                     m "Pool: task %d silent past %.2fs grace; requeued (%d/%d)" i grace a
                       retries);
                 submit pool (attempt i g))
@@ -545,7 +549,8 @@ let map_result_watchdog ~retries ~grace ~on_settle pool f items =
                 in
                 if settle i (Stdlib.Error (Stalled msg, Printexc.get_callstack 0)) then begin
                   Metrics.incr Metrics.Pool_stalls;
-                  Logs.err (fun m -> m "Pool: task %d stalled; retries exhausted" i)
+                  Telemetry.note_stall ();
+                  Log.err (fun m -> m "Pool: task %d stalled; retries exhausted" i)
                 end)
               !stalls;
             watch ()

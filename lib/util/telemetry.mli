@@ -1,0 +1,96 @@
+(** Run-health time-series sampler.
+
+    Streaming drivers call {!tick} at their natural cadence points; at
+    most once per interval a sample — throughput, pool health, memory,
+    GC words, and (when {!Metrics} is collecting) per-phase latency
+    histograms — is encoded as a versioned [OTL1] frame and appended to
+    a write-ahead journal beside the verdict journal.  Disabled, every
+    entry point costs one [Atomic.get]. *)
+
+(** What the streaming driver knows at the moment of a tick. *)
+type progress = {
+  pulled : int;  (** pairs pulled from the source so far *)
+  settled : int;  (** pairs settled (verdict journaled or reported) *)
+  quarantined : int;  (** pairs given up on after the retry budget *)
+  in_flight : int;  (** jobs currently running *)
+  window : int;  (** in-flight window bound at this instant *)
+}
+
+type sample = {
+  ts_ns : int;  (** monotonic ns since [enable] *)
+  pulled : int;
+  settled : int;
+  quarantined : int;
+  in_flight : int;
+  window : int;
+  retries : int;  (** crash/stall retries noted since [enable] *)
+  stalls : int;  (** watchdog stall settlements since [enable] *)
+  backoffs : int;  (** backoff sleeps since [enable] *)
+  deferrals : int;  (** admission deferrals since [enable] *)
+  rss_kb : int;  (** parent resident set, KiB (0 if /proc absent) *)
+  child_rss_kb : int;  (** running max child maxrss, KiB *)
+  minor_words : int;  (** [Gc.quick_stat] minor words, truncated *)
+  major_words : int;  (** [Gc.quick_stat] major words, truncated *)
+  metrics : Metrics.snapshot option;
+      (** aggregate latency histograms at the tick; [None] while
+          [Metrics] collection is off *)
+}
+
+val default_interval_ns : int
+(** Sampling interval when [enable] is not given one (100 ms). *)
+
+val enable : ?interval_ns:int -> path:string -> unit -> unit
+(** Start sampling into a fresh journal at [path], resetting the
+    relative clock and the pool-health accumulators. *)
+
+val disable : unit -> unit
+(** Stop sampling and close the journal.  Idempotent. *)
+
+val is_on : unit -> bool
+
+val tick : (unit -> progress) -> unit
+(** Rate-limited sample point.  When enabled and an interval has
+    elapsed since the last sample, calls the thunk and appends one
+    frame; otherwise (or when disabled) does nothing.  The thunk is
+    only evaluated when a sample is actually taken. *)
+
+val sample_now : progress -> unit
+(** Unconditional sample (when enabled): drivers call this once at
+    stream end so even a sub-interval run leaves a final cut. *)
+
+(** Pool-health accumulators, fed by the drivers at the same sites that
+    bump the corresponding {!Metrics} counters but gated on this
+    module's own flag — telemetry never requires metrics collection. *)
+
+val note_retry : unit -> unit
+val note_stall : unit -> unit
+val note_backoff : unit -> unit
+val note_deferral : unit -> unit
+
+val note_child_rss : int -> unit
+(** Record a reaped child's maxrss (KiB); keeps the running max. *)
+
+(** {1 Codec} *)
+
+val codec_version : string
+(** ["OTL1"]. *)
+
+val encode_sample : sample -> string
+
+val decode_sample : string -> sample option
+(** Total: [None] on any malformed payload, never raises. *)
+
+type replay = {
+  samples : sample list;  (** every decodable sample, in append order *)
+  undecodable : int;  (** intact frames {!decode_sample} rejected *)
+  torn : bool;  (** the file ended in a truncated/corrupt frame *)
+}
+
+val replay : string -> replay
+(** Decode a telemetry journal; a missing file replays empty. *)
+
+(** {1 Process memory} *)
+
+val self_rss_kb : unit -> int
+(** Parent resident set in KiB from /proc/self/statm; 0 where /proc is
+    absent. *)

@@ -119,9 +119,94 @@ let explain_deterministic () =
   let b = render_explain 13 in
   Alcotest.(check string) "explain output is byte-stable across runs" a b
 
+(* -- report aggregator ------------------------------------------------- *)
+
+module Journal = Octo_util.Journal
+module Metrics = Octo_util.Metrics
+
+(* A synthetic-but-realistic run: real verdicts from three registry
+   pairs journaled across two shards, one hand-built quarantine record,
+   and one hand-built latency histogram (real histograms carry wall
+   time, which a golden cannot pin).  The render must be byte-stable —
+   across invocations AND across machines. *)
+let render_report () =
+  let dir = Filename.temp_file "octo_report_golden" "" in
+  Sys.remove dir;
+  let w = Journal.Sharded.create ~dir ~shards:2 () in
+  let fixed_metrics =
+    let s = Metrics.zero () in
+    let put p spans ns buckets =
+      let i = Metrics.phase_index p in
+      s.Metrics.phase_count.(i) <- spans;
+      s.Metrics.phase_ns.(i) <- ns;
+      List.iter
+        (fun (b, n) -> s.Metrics.phase_hist.((i * Metrics.nbuckets) + b) <- n)
+        buckets
+    in
+    put Metrics.Taint 10 5_000 [ (8, 7); (9, 3) ];
+    put Metrics.Solve 4 66_000 [ (13, 3); (15, 1) ];
+    s
+  in
+  List.iter
+    (fun (idx, metrics) ->
+      let c = Registry.find idx in
+      let r = Octopocs.run ~s:c.s ~t:c.t ~poc:c.poc () in
+      let r = { r with Octopocs.metrics } in
+      let label = string_of_int idx in
+      Journal.Sharded.append w ~key:label (Octopocs.encode_result ~label ~key:label r))
+    [ (1, Some fixed_metrics); (2, None); (13, None) ];
+  Journal.Sharded.close w;
+  let qw = Journal.create ~path:(Filename.concat dir "quarantine.jrnl") () in
+  Journal.append qw
+    (Octopocs.encode_quarantine
+       {
+         Octopocs.qlabel = "9";
+         qkey = "9";
+         qreason = "worker crashed";
+         qmessage = "Failure(\"injected\")";
+         qbacktrace = "";
+         qattempts = 3;
+       });
+  Journal.close qw;
+  let rendered =
+    match Octo_report.Report.of_files_rendered ~journal:dir () with
+    | Ok doc -> doc
+    | Error msg -> Alcotest.failf "report failed: %s" msg
+  in
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir;
+  rendered
+
+let report_golden_file = "golden_report.txt"
+
+let report_golden_test () =
+  let rendered = render_report () in
+  match regen_target () with
+  | Some out ->
+      let path = Filename.concat (Filename.dirname out) report_golden_file in
+      let oc = open_out_bin path in
+      output_string oc rendered;
+      close_out oc;
+      Printf.printf "regenerated %s (%d bytes)\n" path (String.length rendered)
+  | None ->
+      if not (Sys.file_exists report_golden_file) then
+        Alcotest.failf
+          "%s missing — regenerate with OCTOPOCS_REGEN_GOLDEN=$PWD/test/%s dune runtest \
+           --force"
+          report_golden_file golden_path;
+      Alcotest.(check string) "run report" (read_file report_golden_file) rendered
+
+let report_deterministic () =
+  let a = render_report () in
+  let b = render_report () in
+  Alcotest.(check string) "report output is byte-stable across runs" a b
+
 let suite =
   [
     Alcotest.test_case "Table II golden (default budgets)" `Quick golden_test;
+    Alcotest.test_case "report golden (sharded journal + quarantine)" `Quick
+      report_golden_test;
+    Alcotest.test_case "report is deterministic across runs" `Quick report_deterministic;
     Alcotest.test_case "explain golden: pair 1 (Triggered, Type-I)" `Quick
       (explain_golden_test 1);
     Alcotest.test_case "explain golden: pair 13 (constraint conflict)" `Quick

@@ -23,6 +23,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("robust", Test_robust.suite);
       ("journal", Test_journal.suite);
+      ("telemetry", Test_telemetry.suite);
       ("corpus", Test_corpus.suite);
       ("trace", Test_trace.suite);
       ("prop", Test_prop.suite);

@@ -485,6 +485,62 @@ let backoff_keys_decorrelated (k1, k2) =
               (Pool.backoff_delay ~key:k2 ~attempt ())))
        [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
+(* -- OTL1 telemetry codec ----------------------------------------------- *)
+
+module Telemetry = Octo_util.Telemetry
+
+(* Samples with and without an attached metrics snapshot; histogram
+   buckets populated too (gen_metrics leaves them zero, and the OTL1
+   frame persists all of them). *)
+let gen_sample : Telemetry.sample Q.gen =
+ fun rng ->
+  let i lo hi = Q.int_range lo hi rng in
+  let metrics =
+    match gen_metrics rng with
+    | None -> None
+    | Some s ->
+        for k = 0 to Array.length s.Metrics.phase_hist - 1 do
+          s.Metrics.phase_hist.(k) <- Q.int_range 0 50 rng
+        done;
+        Some s
+  in
+  {
+    Telemetry.ts_ns = i 0 1_000_000_000;
+    pulled = i 0 100000;
+    settled = i 0 100000;
+    quarantined = i 0 1000;
+    in_flight = i 0 64;
+    window = i 0 64;
+    retries = i 0 1000;
+    stalls = i 0 1000;
+    backoffs = i 0 1000;
+    deferrals = i 0 1000;
+    rss_kb = i 0 10_000_000;
+    child_rss_kb = i 0 10_000_000;
+    minor_words = i 0 1_000_000_000;
+    major_words = i 0 1_000_000_000;
+    metrics;
+  }
+
+let otl_roundtrip_ok s = Telemetry.decode_sample (Telemetry.encode_sample s) = Some s
+
+let otl_decode_total bytes =
+  match Telemetry.decode_sample bytes with Some _ | None -> true
+
+let otl_flip_safe (s, (pos_frac, newbyte)) =
+  let enc = Bytes.of_string (Telemetry.encode_sample s) in
+  if Bytes.length enc = 0 then true
+  else begin
+    Bytes.set enc (pos_frac mod Bytes.length enc) (Char.chr newbyte);
+    match Telemetry.decode_sample (Bytes.to_string enc) with Some _ | None -> true
+  end
+
+let otl_truncate_none (s, cut_frac) =
+  let enc = Telemetry.encode_sample s in
+  let cut = cut_frac mod (String.length enc + 1) in
+  if cut = String.length enc then true
+  else Telemetry.decode_sample (String.sub enc 0 cut) = None
+
 let suite =
   [
     Q.test_case "codec: random reports round-trip exactly" ~seed:0xC0DEC ~count:300
@@ -529,4 +585,17 @@ let suite =
       ~count:100 gen_bkey backoff_envelope_monotone_capped;
     Q.test_case "backoff: distinct keys draw decorrelated jitter streams" ~seed:0xBAC3
       ~count:300 (Q.pair gen_bkey gen_bkey) backoff_keys_decorrelated;
+    Q.test_case "telemetry: random samples round-trip exactly" ~seed:0x071A ~count:300
+      gen_sample otl_roundtrip_ok;
+    Q.test_case "telemetry: decode is total on random bytes" ~seed:0x071B ~count:300
+      (Q.byte_string (Q.int_range 0 200))
+      otl_decode_total;
+    Q.test_case "telemetry: single byte-flips never crash the decoder" ~seed:0x071C
+      ~count:300
+      (Q.pair gen_sample (Q.pair (Q.int_range 0 1_000_000) (Q.int_range 0 255)))
+      otl_flip_safe;
+    Q.test_case "telemetry: truncations decode to None, never raise" ~seed:0x071D
+      ~count:300
+      (Q.pair gen_sample (Q.int_range 0 1_000_000))
+      otl_truncate_none;
   ]

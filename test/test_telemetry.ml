@@ -1,0 +1,272 @@
+(* Unit tests for the run-health sampler (lib/util/telemetry.ml) and the
+   leveled logger (lib/util/log.ml): enable/tick/replay round trips
+   through a real journal file, the disabled paths are no-ops, and the
+   log threshold actually gates emission — including the Source
+   malformed-manifest warning the CLI routes through it. *)
+
+module Telemetry = Octo_util.Telemetry
+module Log = Octo_util.Log
+module Metrics = Octo_util.Metrics
+module Source = Octo_targets.Source
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let tmp_path name =
+  let p = Filename.temp_file ("octo_" ^ name) ".jrnl" in
+  Sys.remove p;
+  p
+
+let progress ?(pulled = 0) ?(settled = 0) ?(quarantined = 0) ?(in_flight = 0) ?(window = 1)
+    () =
+  { Telemetry.pulled; settled; quarantined; in_flight; window }
+
+(* Run [f] with telemetry enabled into a temp journal; always disables
+   (and removes the file) on the way out so later tests see a clean
+   module state. *)
+let with_telemetry ?interval_ns f =
+  let path = tmp_path "telemetry" in
+  Telemetry.enable ?interval_ns ~path ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.disable ();
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* -- sampler ------------------------------------------------------------ *)
+
+let sampler_roundtrip () =
+  with_telemetry (fun path ->
+      Alcotest.(check bool) "enabled" true (Telemetry.is_on ());
+      Telemetry.note_retry ();
+      Telemetry.note_retry ();
+      Telemetry.note_stall ();
+      Telemetry.note_backoff ();
+      Telemetry.note_deferral ();
+      Telemetry.note_child_rss 512;
+      Telemetry.note_child_rss 256;
+      (* running max, not last-write *)
+      Telemetry.sample_now (progress ~pulled:7 ~settled:5 ~quarantined:1 ~in_flight:2 ~window:4 ());
+      Telemetry.sample_now (progress ~pulled:9 ~settled:9 ());
+      Telemetry.disable ();
+      let r = Telemetry.replay path in
+      Alcotest.(check int) "samples" 2 (List.length r.Telemetry.samples);
+      Alcotest.(check int) "undecodable" 0 r.Telemetry.undecodable;
+      Alcotest.(check bool) "torn" false r.Telemetry.torn;
+      let s = List.hd r.Telemetry.samples in
+      Alcotest.(check int) "pulled" 7 s.Telemetry.pulled;
+      Alcotest.(check int) "settled" 5 s.Telemetry.settled;
+      Alcotest.(check int) "quarantined" 1 s.Telemetry.quarantined;
+      Alcotest.(check int) "in_flight" 2 s.Telemetry.in_flight;
+      Alcotest.(check int) "window" 4 s.Telemetry.window;
+      Alcotest.(check int) "retries" 2 s.Telemetry.retries;
+      Alcotest.(check int) "stalls" 1 s.Telemetry.stalls;
+      Alcotest.(check int) "backoffs" 1 s.Telemetry.backoffs;
+      Alcotest.(check int) "deferrals" 1 s.Telemetry.deferrals;
+      Alcotest.(check int) "child rss keeps the max" 512 s.Telemetry.child_rss_kb;
+      let s2 = List.nth r.Telemetry.samples 1 in
+      Alcotest.(check bool) "timestamps monotonic" true
+        (s2.Telemetry.ts_ns >= s.Telemetry.ts_ns))
+
+let sampler_tick_rate_limited () =
+  (* A huge interval admits exactly one tick sample; the thunk must not
+     even run for the suppressed ticks. *)
+  with_telemetry ~interval_ns:3_600_000_000_000 (fun path ->
+      let calls = ref 0 in
+      for _ = 1 to 50 do
+        Telemetry.tick (fun () ->
+            incr calls;
+            progress ())
+      done;
+      Alcotest.(check int) "thunk ran once" 1 !calls;
+      Telemetry.disable ();
+      Alcotest.(check int) "one frame" 1
+        (List.length (Telemetry.replay path).Telemetry.samples))
+
+let sampler_disabled_noop () =
+  Alcotest.(check bool) "off" false (Telemetry.is_on ());
+  let calls = ref 0 in
+  Telemetry.tick (fun () ->
+      incr calls;
+      progress ());
+  Telemetry.sample_now (progress ());
+  Telemetry.note_retry ();
+  Telemetry.note_child_rss 999;
+  Alcotest.(check int) "thunk never ran" 0 !calls;
+  (* A later enable starts from zeroed accumulators. *)
+  with_telemetry (fun path ->
+      Telemetry.sample_now (progress ());
+      Telemetry.disable ();
+      let s = List.hd (Telemetry.replay path).Telemetry.samples in
+      Alcotest.(check int) "retries reset" 0 s.Telemetry.retries;
+      Alcotest.(check int) "child rss reset" 0 s.Telemetry.child_rss_kb)
+
+let sampler_metrics_attached () =
+  with_telemetry (fun path ->
+      Metrics.enable ();
+      Fun.protect ~finally:Metrics.disable (fun () ->
+          Metrics.observe_phase Metrics.Taint 1000;
+          Telemetry.sample_now (progress ()));
+      Telemetry.disable ();
+      let s = List.hd (Telemetry.replay path).Telemetry.samples in
+      match s.Telemetry.metrics with
+      | None -> Alcotest.fail "expected a metrics snapshot in the frame"
+      | Some m ->
+          Alcotest.(check bool) "taint span recorded" true
+            (Metrics.phase_spans m Metrics.Taint >= 1))
+
+let sampler_torn_tail () =
+  (* Chopping bytes off the journal must degrade to a valid prefix. *)
+  let path = tmp_path "torn" in
+  Telemetry.enable ~path ();
+  Telemetry.sample_now (progress ~settled:1 ());
+  Telemetry.sample_now (progress ~settled:2 ());
+  Telemetry.disable ();
+  let len = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (len - 3);
+  Unix.close fd;
+  let r = Telemetry.replay path in
+  Sys.remove path;
+  Alcotest.(check int) "prefix survives" 1 (List.length r.Telemetry.samples);
+  Alcotest.(check bool) "torn flagged" true r.Telemetry.torn;
+  Alcotest.(check int) "prefix content" 1
+    (List.hd r.Telemetry.samples).Telemetry.settled
+
+let replay_missing_file () =
+  let r = Telemetry.replay "/nonexistent/octo_telemetry.jrnl" in
+  Alcotest.(check int) "empty" 0 (List.length r.Telemetry.samples);
+  Alcotest.(check bool) "not torn" false r.Telemetry.torn
+
+let self_rss_positive () =
+  (* /proc is available on every platform CI runs on; a live process has
+     nonzero RSS. *)
+  Alcotest.(check bool) "rss > 0" true (Telemetry.self_rss_kb () > 0)
+
+(* -- logger ------------------------------------------------------------- *)
+
+(* Capture emitted lines through a test sink at a given threshold,
+   restoring the default sink and threshold afterwards. *)
+let with_log_capture level f =
+  let captured = ref [] in
+  let saved = Log.level () in
+  Log.set_level level;
+  Log.set_sink (fun lvl msg -> captured := (lvl, msg) :: !captured);
+  Fun.protect
+    ~finally:(fun () ->
+      Log.reset_sink ();
+      Log.set_level saved)
+    (fun () ->
+      f ();
+      List.rev !captured)
+
+let log_threshold_gates () =
+  let lines =
+    with_log_capture Log.Warn (fun () ->
+        Log.err (fun m -> m "e%d" 1);
+        Log.warn (fun m -> m "w%d" 2);
+        Log.info (fun m -> m "i%d" 3);
+        Log.debug (fun m -> m "d%d" 4))
+  in
+  Alcotest.(check (list string)) "warn passes err+warn" [ "e1"; "w2" ]
+    (List.map snd lines);
+  let lines =
+    with_log_capture Log.Error (fun () ->
+        Log.err (fun m -> m "only");
+        Log.warn (fun m -> m "dropped"))
+  in
+  Alcotest.(check (list string)) "error passes err only" [ "only" ]
+    (List.map snd lines)
+
+let log_lazy_formatting () =
+  (* Below the threshold the message closure must never run. *)
+  let ran = ref false in
+  let lines =
+    with_log_capture Log.Error (fun () ->
+        Log.debug (fun m ->
+            ran := true;
+            m "never"))
+  in
+  Alcotest.(check (list string)) "nothing emitted" [] (List.map snd lines);
+  Alcotest.(check bool) "closure skipped" false !ran
+
+let log_level_of_string () =
+  List.iter
+    (fun (s, want) ->
+      Alcotest.(check bool) s true (Log.level_of_string s = Some want))
+    [
+      ("error", Log.Error); ("err", Log.Error); ("warn", Log.Warn);
+      ("warning", Log.Warn); ("info", Log.Info); ("debug", Log.Debug);
+    ];
+  Alcotest.(check bool) "garbage" true (Log.level_of_string "loud" = None)
+
+(* The satellite contract: Source's malformed-manifest warning goes
+   through Log.warn, so --log-level error silences it. *)
+let source_warning_gated () =
+  let dir = Filename.temp_file "octo_corpus" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Source.write_dir ~dir ~seed:1 ~count:2;
+  let bad = Filename.concat dir "zz_bad.pair" in
+  let oc = open_out bad in
+  output_string oc "not a manifest\n";
+  close_out oc;
+  let drain () =
+    let src = Source.directory dir in
+    let rec go n = match Source.next src with None -> n | Some _ -> go (n + 1) in
+    go 0
+  in
+  let lines = with_log_capture Log.Warn (fun () -> ignore (drain ())) in
+  Alcotest.(check int) "warn level: warning emitted" 1 (List.length lines);
+  Alcotest.(check bool) "names the manifest" true
+    (let msg = snd (List.hd lines) in
+     String.length msg >= String.length bad
+     && String.sub msg (String.length msg - String.length bad) (String.length bad) = bad);
+  let lines = with_log_capture Log.Error (fun () -> ignore (drain ())) in
+  Alcotest.(check int) "error level: silenced" 0 (List.length lines);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
+let log_jsonl_sink () =
+  let path = tmp_path "log" in
+  let saved = Log.level () in
+  Log.set_level Log.Warn;
+  Log.set_sink (fun _ _ -> ());
+  Log.set_jsonl path;
+  Log.warn (fun m -> m "json \"quoted\" line");
+  Log.close_jsonl ();
+  Log.reset_sink ();
+  Log.set_level saved;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "level field" true
+    (let re = {|"level":"warn"|} in
+     let rec find i =
+       i + String.length re <= String.length line
+       && (String.sub line i (String.length re) = re || find (i + 1))
+     in
+     find 0);
+  Alcotest.(check bool) "quotes escaped" true
+    (let re = {|json \"quoted\" line|} in
+     let rec find i =
+       i + String.length re <= String.length line
+       && (String.sub line i (String.length re) = re || find (i + 1))
+     in
+     find 0)
+
+let suite =
+  [
+    tc "sampler: samples round-trip through the journal" sampler_roundtrip;
+    tc "sampler: tick is rate-limited and lazy" sampler_tick_rate_limited;
+    tc "sampler: disabled entry points are no-ops" sampler_disabled_noop;
+    tc "sampler: metrics snapshot rides along when collecting" sampler_metrics_attached;
+    tc "sampler: torn tail degrades to a valid prefix" sampler_torn_tail;
+    tc "sampler: replaying a missing file is empty, not an error" replay_missing_file;
+    tc "sampler: self_rss_kb reads a live value" self_rss_positive;
+    tc "log: threshold gates emission" log_threshold_gates;
+    tc "log: suppressed messages never format" log_lazy_formatting;
+    tc "log: level_of_string accepts the documented aliases" log_level_of_string;
+    tc "log: source malformed-manifest warning obeys the threshold" source_warning_gated;
+    tc "log: jsonl sink writes escaped records" log_jsonl_sink;
+  ]

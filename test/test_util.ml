@@ -85,6 +85,49 @@ let diff_offsets_basic () =
   check (Alcotest.list Alcotest.int) "equal" [] (Bytes_util.diff_offsets "abc" "abc");
   check (Alcotest.list Alcotest.int) "length tail" [ 3; 4 ] (Bytes_util.diff_offsets "abc" "abcde")
 
+(* -- Metrics.percentile ------------------------------------------------- *)
+
+module Metrics = Octo_util.Metrics
+
+(* A snapshot with chosen taint-phase histogram buckets; every other
+   phase stays empty so the None case is exercised by the same value. *)
+let hist_snapshot buckets =
+  let s = Metrics.zero () in
+  let base = Metrics.phase_index Metrics.Taint * Metrics.nbuckets in
+  List.iter (fun (i, n) -> s.Metrics.phase_hist.(base + i) <- n) buckets;
+  s
+
+let percentile_empty () =
+  let s = Metrics.zero () in
+  Alcotest.(check (option int)) "empty histogram" None (Metrics.percentile s Metrics.Taint 50.0)
+
+let percentile_single_bucket () =
+  (* All mass in bucket 5: every percentile answers its lower bound. *)
+  let s = hist_snapshot [ (5, 10) ] in
+  List.iter
+    (fun pct ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "p%.0f" pct)
+        (Some 32) (Metrics.percentile s Metrics.Taint pct))
+    [ 1.0; 50.0; 99.0; 100.0 ];
+  Alcotest.(check (option int)) "other phase empty" None (Metrics.percentile s Metrics.Solve 50.0)
+
+let percentile_split () =
+  (* 90 spans in bucket 3, 10 in bucket 8: the p90 rank (90) still lands
+     in bucket 3, anything above crosses into bucket 8. *)
+  let s = hist_snapshot [ (3, 90); (8, 10) ] in
+  Alcotest.(check (option int)) "p50" (Some 8) (Metrics.percentile s Metrics.Taint 50.0);
+  Alcotest.(check (option int)) "p90" (Some 8) (Metrics.percentile s Metrics.Taint 90.0);
+  Alcotest.(check (option int)) "p91" (Some 256) (Metrics.percentile s Metrics.Taint 91.0);
+  Alcotest.(check (option int)) "p99" (Some 256) (Metrics.percentile s Metrics.Taint 99.0)
+
+let percentile_bounds () =
+  let s = hist_snapshot [ (0, 1) ] in
+  Alcotest.check_raises "0 rejected" (Invalid_argument "Metrics.percentile") (fun () ->
+      ignore (Metrics.percentile s Metrics.Taint 0.0));
+  Alcotest.check_raises "101 rejected" (Invalid_argument "Metrics.percentile") (fun () ->
+      ignore (Metrics.percentile s Metrics.Taint 101.0))
+
 let qcheck_tests =
   [
     QCheck.Test.make ~name:"of_int_list/to_int_list roundtrip"
@@ -117,5 +160,9 @@ let suite =
     tc "bytes: repeat" repeat_layout;
     tc "bytes: hexdump shape" hexdump_shape;
     tc "bytes: diff_offsets" diff_offsets_basic;
+    tc "percentile: empty histogram is None" percentile_empty;
+    tc "percentile: single bucket answers its lower bound" percentile_single_bucket;
+    tc "percentile: rank crosses buckets at the right pct" percentile_split;
+    tc "percentile: pct outside (0, 100] rejected" percentile_bounds;
   ]
   @ List.map QCheck_alcotest.to_alcotest qcheck_tests
